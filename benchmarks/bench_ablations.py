@@ -1,0 +1,99 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Not a figure of the paper, but the knobs the paper's text discusses:
+
+* **tsMCF step budget (l_max)** -- §3.1.3 sets l_max >= diameter; the ablation
+  shows how the total utilization (and hence throughput) converges to the
+  steady-state optimum 1/F as extra steps are allowed.
+* **Child-LP parallelism** -- §3.1.2's N child LPs are embarrassingly
+  parallel; the ablation measures serial vs process-pool execution.
+* **Chunking granularity** -- §4/§5.5: finer chunks approximate the fractional
+  MCF weights better but multiply the number of chunk flows (queue pairs).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import solve_decomposed_mcf, solve_mcf_extract_paths, solve_timestepped_mcf
+from repro.schedule import chunk_path_schedule, routed_schedule_stats
+from repro.simulator import cerio_hpc_fabric, throughput_sweep
+from repro.topology import generalized_kautz, hypercube, torus_2d
+
+
+def test_ablation_tsmcf_step_budget(benchmark, record):
+    """Total utilization vs number of allowed communication steps."""
+    topo = hypercube(3)
+    steady = 1.0 / solve_decomposed_mcf(topo).concurrent_flow
+    rows = []
+
+    def run():
+        for steps in (3, 4, 5, 6):
+            flow = solve_timestepped_mcf(topo, num_steps=steps)
+            rows.append([steps, flow.total_utilization, steady,
+                         flow.total_utilization / steady])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablations", format_table(
+        ["l_max (steps)", "tsMCF total utilization", "steady-state 1/F", "ratio"],
+        rows, title="Ablation: tsMCF step budget on the 3D hypercube (diameter 3)"))
+    # Monotone improvement, converging to the steady state within ~1 extra step.
+    utils = [r[1] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(utils, utils[1:]))
+    assert rows[1][3] == pytest.approx(1.0, abs=0.01)
+
+
+def test_ablation_child_lp_parallelism(benchmark, record):
+    """Serial vs parallel child-LP execution of the decomposed MCF."""
+    topo = generalized_kautz(4, 24)
+    rows = []
+
+    def run():
+        for jobs in (1, 4):
+            start = time.perf_counter()
+            sol = solve_decomposed_mcf(topo, n_jobs=jobs)
+            wall = time.perf_counter() - start
+            timings = sol.meta["timings"]
+            rows.append([jobs, wall, timings.master_seconds,
+                         timings.parallel_seconds, sol.concurrent_flow])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablations", format_table(
+        ["child-LP workers", "wall clock (s)", "master LP (s)",
+         "master + slowest child (s)", "F"],
+        rows, title="Ablation: child-LP parallelism on GenKautz(4, 24)"))
+    # Same optimum regardless of parallelism.
+    assert rows[0][4] == pytest.approx(rows[1][4], rel=1e-6)
+
+
+def test_ablation_chunking_granularity(benchmark, record):
+    """Finer chunking tracks the MCF weights better but opens more queue pairs."""
+    topo = torus_2d(3)
+    schedule = solve_mcf_extract_paths(topo)
+    fabric = cerio_hpc_fabric()
+    buf = 2 ** 26
+    rows = []
+
+    def run():
+        for denom in (2, 8, 32):
+            routed = chunk_path_schedule(schedule, max_denominator=denom)
+            stats = routed_schedule_stats(routed)
+            tp = throughput_sweep(routed, [buf], fabric=fabric)[0].throughput
+            rows.append([denom, stats.num_assignments, stats.queue_pairs_per_rank_max,
+                         stats.load_imbalance, tp / 1e9])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablations", format_table(
+        ["max denominator", "chunk flows", "max QPs per rank", "load imbalance",
+         "throughput GB/s"],
+        rows, title="Ablation: chunking granularity on the 3x3 torus (64 MiB buffers)"))
+    # More granular chunking -> at least as many queue pairs.
+    qps = [r[2] for r in rows]
+    assert qps == sorted(qps)
+    # Throughput is not destroyed by coarse chunking on this symmetric topology.
+    tps = [r[4] for r in rows]
+    assert max(tps) / min(tps) < 1.5

@@ -1,0 +1,93 @@
+"""Fig. 3: throughput of link-based all-to-all schedules.
+
+Schemes: tsMCF (ours), the TACCL-like surrogate baseline, and the theoretical
+upper bound ``(N-1) * f * b``; the SCCL baseline fails to synthesise at these
+scales (§5.2), which bench_fig7 demonstrates explicitly.
+
+Topologies: complete bipartite K4,4, 3D hypercube and 3D twisted hypercube
+(all N=8, as on the paper's GPU testbed), plus a torus with a host-injection
+bottleneck standing in for the 27-node TACC torus (3x3 at the default scale,
+3x3x3 with REPRO_BENCH_SCALE=paper).
+
+Expected shape: tsMCF tracks the upper bound at large buffers and beats the
+TACCL surrogate (by ~20-60%); all schemes are latency-bound at small buffers.
+"""
+
+import pytest
+
+from repro.analysis import format_throughput_sweep
+from repro.baselines import taccl_like_schedule
+from repro.core import augment_host_nic_bottleneck, solve_timestepped_mcf
+from repro.schedule import chunk_timestepped_flow
+from repro.simulator import a100_ml_fabric, steady_state_throughput, throughput_sweep
+from repro.topology import complete_bipartite, hypercube, torus, twisted_hypercube
+
+FABRIC = a100_ml_fabric()          # 25 Gbps links, store-and-forward
+
+
+def _upper_bound_row(topology, flow_value, buffers):
+    bound = steady_state_throughput(topology.num_nodes, flow_value, FABRIC)
+
+    class _Fake:
+        def __init__(self, buf):
+            self.buffer_bytes = buf
+            self.throughput = bound
+
+    return [_Fake(b) for b in buffers]
+
+
+def _run_topology(name, topo, buffer_sweep, record, benchmark=None, terminals=None):
+    solve = lambda: solve_timestepped_mcf(topo, terminals=terminals)
+    ts = benchmark.pedantic(solve, rounds=1, iterations=1) if benchmark is not None else solve()
+    link_schedule = chunk_timestepped_flow(ts)
+    flow_value = ts.equivalent_concurrent_flow()
+
+    results = {
+        "Upper Bound": _upper_bound_row(topo, flow_value, buffer_sweep),
+        "tsMCF/G": throughput_sweep(link_schedule, buffer_sweep, fabric=FABRIC),
+    }
+    if terminals is None:
+        taccl = taccl_like_schedule(topo)
+        results["TACCL/G"] = throughput_sweep(taccl, buffer_sweep, fabric=FABRIC)
+    record("fig3_link_schedules", format_throughput_sweep(
+        results, title=f"Fig. 3 ({name}, N={len(terminals) if terminals else topo.num_nodes}): throughput GB/s vs buffer size"))
+    return results
+
+
+def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
+    topo = complete_bipartite(4, 4)
+    results = _run_topology("Complete Bipartite", topo, buffer_sweep, record, benchmark)
+    big = buffer_sweep[-1]
+    mcf = results["tsMCF/G"][-1].throughput
+    taccl = results["TACCL/G"][-1].throughput
+    bound = results["Upper Bound"][-1].throughput
+    assert mcf <= bound * 1.001
+    assert mcf >= 0.85 * bound
+    assert mcf >= taccl
+
+
+def test_fig3_hypercube(benchmark, record, buffer_sweep):
+    topo = hypercube(3)
+    results = _run_topology("3D Hypercube", topo, buffer_sweep, record, benchmark)
+    assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
+
+
+def test_fig3_twisted_hypercube(benchmark, record, buffer_sweep):
+    topo = twisted_hypercube(3)
+    results = _run_topology("3D Twisted Hypercube", topo, buffer_sweep, record, benchmark)
+    assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
+
+
+def test_fig3_torus_with_host_bottleneck(benchmark, record, buffer_sweep, scale):
+    """Torus column of Fig. 3: tsMCF on the host-NIC-bottleneck augmented graph."""
+    dims = [3, 3, 3] if scale == "paper" else [3, 3]
+    topo = torus(dims)
+    # §5.1 ratio: 100 Gbps injection vs degree * 25 Gbps NIC bandwidth, i.e. the
+    # host moves 2/3 of the NIC aggregate (4 link-units at degree 6).
+    aug = augment_host_nic_bottleneck(topo, host_bandwidth=topo.degree() * 2.0 / 3.0,
+                                      link_bandwidth=1.0)
+    results = _run_topology(f"Torus {'x'.join(map(str, dims))} (host bottleneck)",
+                            aug.topology, buffer_sweep, record, benchmark,
+                            terminals=list(aug.host_nodes()))
+    bound = results["Upper Bound"][-1].throughput
+    assert results["tsMCF/G"][-1].throughput <= bound * 1.001

@@ -1,0 +1,64 @@
+"""§5.5 deadlock-freedom study: virtual-channel layers needed per algorithm/topology.
+
+The paper reports that its LASH-sequential variant never needed more than 4
+layers to make the routes of any evaluated algorithm (MCF, ILP, EwSP, ...)
+deadlock-free on any evaluated topology.  This benchmark reproduces that
+study: it generates route sets with each algorithm on each topology, runs
+LASH, LASH-sequential and DF-SSSP, and reports the layer counts.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import ilp_disjoint_schedule, native_alltoall_schedule
+from repro.core import solve_mcf_extract_paths
+from repro.paths import ewsp_schedule, sssp_schedule
+from repro.routing import dfsssp_assign, lash_assign, lash_sequential_assign, verify_layers
+from repro.topology import complete_bipartite, generalized_kautz, hypercube, torus
+
+MAX_LAYERS_CLAIM = 4
+
+
+def _routes_of(schedule):
+    return [tuple(p.nodes) for plist in schedule.paths.values() for p in plist]
+
+
+def test_lash_layers_across_algorithms_and_topologies(benchmark, record, scale):
+    topologies = {
+        "bipartite-4x4": complete_bipartite(4, 4),
+        "hypercube-3d": hypercube(3),
+        "torus": torus([3, 3, 3]) if scale == "paper" else torus([3, 3]),
+        "genkautz-d4": generalized_kautz(4, 24),
+    }
+    rows = []
+    seq_layer_counts = []
+
+    def run_all():
+        for topo_name, topo in topologies.items():
+            algorithms = {
+                "MCF-extP": lambda t=topo: solve_mcf_extract_paths(t),
+                "EwSP": lambda t=topo: ewsp_schedule(t),
+                "SSSP": lambda t=topo: sssp_schedule(t),
+                "native": lambda t=topo: native_alltoall_schedule(t),
+            }
+            if topo.num_nodes <= 16:
+                algorithms["ILP-disjoint"] = lambda t=topo: ilp_disjoint_schedule(
+                    t, mip_rel_gap=0.05, time_limit=60)
+            for algo_name, make in algorithms.items():
+                routes = _routes_of(make())
+                seq = lash_sequential_assign(routes)
+                ff = lash_assign(routes)
+                df = dfsssp_assign(routes)
+                assert verify_layers(seq) and verify_layers(ff) and verify_layers(df)
+                seq_layer_counts.append(seq.num_layers)
+                rows.append([topo_name, algo_name, len(routes),
+                             seq.num_layers, ff.num_layers, df.num_layers])
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record("lash_layers", format_table(
+        ["topology", "algorithm", "#routes", "LASH-seq layers", "LASH layers", "DF-SSSP layers"],
+        rows, title="§5.5: virtual-channel layers needed for deadlock freedom"))
+
+    # The paper's claim: LASH-sequential needs at most 4 layers everywhere.
+    assert max(seq_layer_counts) <= MAX_LAYERS_CLAIM

@@ -1,0 +1,52 @@
+"""Table 1: HPC vs ML accelerator fabric models.
+
+Reproduces the qualitative comparison of Table 1 as concrete fabric-model
+parameters and measures the simulator's throughput for the same schedule under
+both models (forwarding bandwidth vs none), which is the quantitative content
+behind the table's "Forwarding BW >= B vs = B" row.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import solve_mcf_extract_paths
+from repro.schedule import chunk_path_schedule
+from repro.simulator import GBPS, a100_ml_fabric, cerio_hpc_fabric, throughput_sweep
+from repro.topology import torus_2d
+
+
+def test_table1_fabric_models(benchmark, record):
+    hpc = cerio_hpc_fabric()
+    ml = a100_ml_fabric()
+
+    rows = [
+        ["Schedules", "Path-based", "Link-based"],
+        ["Topology focus", "Bisection bandwidth", "Node bandwidth"],
+        ["Flow control", "Cut-through", "Store-and-forward"],
+        ["NIC forwarding", str(hpc.nic_forwarding), str(ml.nic_forwarding)],
+        ["Link bandwidth (GB/s)", f"{hpc.link_bandwidth / 1e9:.3f}", f"{ml.link_bandwidth / 1e9:.3f}"],
+        ["Injection BW (GB/s)",
+         f"{(hpc.injection_bandwidth or 0) / 1e9:.3f}",
+         "= d*b" if ml.injection_bandwidth is None else f"{ml.injection_bandwidth / 1e9:.3f}"],
+        ["Forwarding BW (GB/s)",
+         f"{(hpc.forwarding_bandwidth or 0) / 1e9:.3f}", "= injection"],
+        ["Per-step latency (us)", f"{hpc.per_step_latency * 1e6:.1f}", f"{ml.per_step_latency * 1e6:.1f}"],
+    ]
+    record("table1_fabrics", format_table(
+        ["Property", "HPC (Cerio-like)", "ML accelerator (A100-like)"], rows,
+        title="Table 1: fabric models used by the simulator"))
+
+    # Quantify the forwarding-bandwidth effect: the same path schedule on a
+    # 3x3 torus is faster when the NIC fabric has extra forwarding bandwidth.
+    topo = torus_2d(3)
+    schedule = benchmark.pedantic(
+        lambda: chunk_path_schedule(solve_mcf_extract_paths(topo)), rounds=1, iterations=1)
+    buf = 2 ** 26
+    hpc_tp = throughput_sweep(schedule, [buf], fabric=hpc)[0].throughput
+    ml_like = cerio_hpc_fabric(forwarding_gbps=100.0)   # forwarding capped at injection
+    capped_tp = throughput_sweep(schedule, [buf], fabric=ml_like)[0].throughput
+    record("table1_fabrics", format_table(
+        ["fabric", "throughput GB/s"],
+        [["forwarding 300 Gbps", hpc_tp / 1e9], ["forwarding 100 Gbps", capped_tp / 1e9]],
+        title="Forwarding-bandwidth effect (same MCF-extP schedule, 3x3 torus, 64 MiB)"))
+    assert hpc_tp >= capped_tp

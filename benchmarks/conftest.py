@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+relevant schedule generators and the simulator, prints the figure's series as
+a text table, and appends the same table to ``benchmarks/results/<figure>.txt``
+so the output survives pytest's output capture.
+
+Scale control
+-------------
+The paper's largest experiments (27-node torus hardware runs, 1000-node
+synthesis sweeps) are scaled to laptop/CI sizes by default.  Set
+``REPRO_BENCH_SCALE=paper`` to run closer to the paper's sizes (minutes to
+hours), ``REPRO_BENCH_SCALE=small`` (default) for the quick configuration.
+EXPERIMENTS.md records results from the default configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Current benchmark scale: 'small' (default) or 'paper'."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Print a table and append it to the per-figure results file."""
+
+    def _record(figure: str, text: str) -> None:
+        print(f"\n{text}\n")
+        path = results_dir / f"{figure}.txt"
+        with path.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    # Start each session with clean files: remove stale results once.
+    for old in results_dir.glob("*.txt"):
+        old.unlink()
+    return _record
+
+
+@pytest.fixture(scope="session")
+def buffer_sweep(scale):
+    """Buffer-size sweep (total per-node bytes), the x-axis of Fig. 3/4/5."""
+    if scale == "paper":
+        return [2 ** k for k in range(13, 29, 3)]
+    return [2 ** 15, 2 ** 19, 2 ** 23, 2 ** 27]

@@ -1,0 +1,79 @@
+"""Plain-text table/series formatting for benchmark output and EXPERIMENTS.md.
+
+The benchmark harness prints the same rows/series the paper's figures report;
+these helpers render them as aligned text tables so the output of
+``pytest benchmarks/ --benchmark-only`` can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_throughput_sweep", "human_bytes"]
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (powers of two, like the figure axes)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.0f}{unit}" if value >= 10 else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}TiB"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(x_label: str, xs: Sequence[object],
+                  series: Mapping[str, Sequence[float]],
+                  title: Optional[str] = None) -> str:
+    """Render several y-series against a shared x-axis (one figure line each)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_throughput_sweep(results_by_scheme: Mapping[str, Sequence],
+                            title: Optional[str] = None,
+                            unit: float = 1e9) -> str:
+    """Render throughput sweeps (CollectiveResult lists) as a Fig. 3/4 style table.
+
+    ``unit`` converts bytes/s to the displayed unit (default GB/s).
+    """
+    schemes = list(results_by_scheme.keys())
+    if not schemes:
+        return title or ""
+    buffers = [r.buffer_bytes for r in results_by_scheme[schemes[0]]]
+    series = {}
+    for name, results in results_by_scheme.items():
+        series[name] = [r.throughput / unit for r in results]
+    xs = [human_bytes(b) for b in buffers]
+    return format_series("buffer", xs, series, title=title)

@@ -1,0 +1,126 @@
+"""Scheme registry and comparison sweeps.
+
+A thin experiment-runner layer shared by the CLI and the benchmark harness: a
+registry of named schedule-generation schemes (the algorithms compared in the
+paper's figures) and helpers to run several of them on one topology and
+collect normalized all-to-all times or simulated throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..baselines import (
+    ilp_disjoint_schedule,
+    ilp_shortest_schedule,
+    native_alltoall_schedule,
+)
+from ..core import (
+    solve_decomposed_mcf,
+    solve_mcf_extract_paths,
+    solve_path_mcf,
+)
+from ..core.mcf_path import PathSchedule
+from ..paths import (
+    all_shortest_path_sets,
+    dor_schedule,
+    edge_disjoint_path_sets,
+    ewsp_schedule,
+    sssp_schedule,
+)
+from ..schedule import chunk_path_schedule
+from ..simulator import FabricModel, cerio_hpc_fabric, throughput_sweep
+from ..topology.base import Topology
+
+__all__ = ["SchemeResult", "PATH_SCHEMES", "available_schemes", "run_scheme",
+           "compare_schemes"]
+
+
+#: Registry of path-based schemes keyed by the label used in the paper's figures.
+PATH_SCHEMES: Dict[str, Callable[[Topology], PathSchedule]] = {
+    "mcf-extp": solve_mcf_extract_paths,
+    "pmcf-disjoint": lambda t: solve_path_mcf(t, edge_disjoint_path_sets(t)),
+    "pmcf-shortest": lambda t: solve_path_mcf(
+        t, all_shortest_path_sets(t, limit_per_pair=16)),
+    "ewsp": ewsp_schedule,
+    "sssp": sssp_schedule,
+    "dor": dor_schedule,
+    "native": native_alltoall_schedule,
+    "ilp-disjoint": lambda t: ilp_disjoint_schedule(t, mip_rel_gap=0.05, time_limit=120),
+    "ilp-shortest": lambda t: ilp_shortest_schedule(t, mip_rel_gap=0.05, time_limit=120),
+}
+
+
+def available_schemes() -> List[str]:
+    """Names of all registered path-based schemes."""
+    return sorted(PATH_SCHEMES.keys())
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one scheme on one topology."""
+
+    scheme: str
+    concurrent_flow: float
+    all_to_all_time: float
+    normalized_time: Optional[float] = None
+    throughputs: Dict[float, float] = field(default_factory=dict)   # buffer -> bytes/s
+    error: Optional[str] = None
+
+
+def run_scheme(scheme: str, topology: Topology) -> PathSchedule:
+    """Run a registered scheme by name."""
+    if scheme not in PATH_SCHEMES:
+        raise KeyError(f"unknown scheme {scheme!r}; available: {available_schemes()}")
+    return PATH_SCHEMES[scheme](topology)
+
+
+def compare_schemes(topology: Topology, schemes: Sequence[str],
+                    buffer_sizes: Optional[Sequence[float]] = None,
+                    fabric: Optional[FabricModel] = None,
+                    normalize: bool = True,
+                    skip_failures: bool = True) -> List[SchemeResult]:
+    """Run several schemes on a topology and collect comparable metrics.
+
+    Parameters
+    ----------
+    buffer_sizes:
+        If given, each scheme's schedule is also chunked and executed on the
+        simulator at these per-node buffer sizes.
+    normalize:
+        If True, also compute each scheme's all-to-all time normalized by the
+        optimal link-based (decomposed) MCF time, as in Fig. 8/9.
+    skip_failures:
+        If True, a scheme that raises (e.g. DOR on a non-torus) produces a
+        :class:`SchemeResult` with the ``error`` field set instead of aborting
+        the whole comparison.
+    """
+    fabric = fabric or cerio_hpc_fabric()
+    reference = None
+    if normalize:
+        reference = 1.0 / solve_decomposed_mcf(topology).concurrent_flow
+
+    results: List[SchemeResult] = []
+    for name in schemes:
+        try:
+            schedule = run_scheme(name, topology)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            if not skip_failures:
+                raise
+            results.append(SchemeResult(scheme=name, concurrent_flow=0.0,
+                                        all_to_all_time=float("inf"), error=str(exc)))
+            continue
+        time = schedule.all_to_all_time()
+        result = SchemeResult(
+            scheme=name,
+            concurrent_flow=schedule.concurrent_flow,
+            all_to_all_time=time,
+            normalized_time=None if reference is None else time / reference,
+        )
+        if buffer_sizes:
+            routed = chunk_path_schedule(schedule, max_denominator=16)
+            for r in throughput_sweep(routed, buffer_sizes, fabric=fabric):
+                result.throughputs[r.buffer_bytes] = r.throughput
+        results.append(result)
+    return results

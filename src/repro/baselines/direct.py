@@ -1,0 +1,50 @@
+"""Native NCCL/OMPI-style all-to-all baseline (§5.2).
+
+The stock NCCL and Open MPI all-to-all algorithms simply post ``N - 1``
+point-to-point send/receive operations per rank; the fabric's default
+(deadlock-free, single) route per destination carries each flow.  There is no
+load balancing across paths and no awareness of the topology beyond the
+routing tables, which is why MCF-extP outperforms it by up to 2.3x on the
+complete bipartite topology and ~55% on the 3D torus (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.flow import Commodity
+from ..core.mcf_path import PathSchedule, path_schedule_from_single_paths
+from ..paths.shortest import first_shortest_path_sets
+from ..schedule.ir import Chunk, LinkSchedule, LinkSendOp
+from ..topology.base import Topology
+
+__all__ = ["native_alltoall_schedule", "direct_pairwise_link_schedule"]
+
+
+def native_alltoall_schedule(topology: Topology) -> PathSchedule:
+    """NCCL/OMPI-native baseline: one fabric-computed (shortest) route per pair."""
+    routes = first_shortest_path_sets(topology)
+    schedule = path_schedule_from_single_paths(topology, routes, method="native")
+    return schedule
+
+
+def direct_pairwise_link_schedule(topology: Topology) -> LinkSchedule:
+    """A naive link-level all-to-all: relay every shard hop-by-hop on one shortest path.
+
+    This is the store-and-forward analogue of the native baseline, used as a
+    simple correct-by-construction reference schedule in tests: shard (s, d)
+    moves one hop per step along a fixed shortest path, so the number of steps
+    equals the topology diameter and link contention is whatever the shortest
+    paths induce.
+    """
+    routes = first_shortest_path_sets(topology)
+    ops: List[LinkSendOp] = []
+    max_steps = 0
+    for (s, d), path in routes.items():
+        for hop_index, (u, v) in enumerate(zip(path[:-1], path[1:]), start=1):
+            ops.append(LinkSendOp(chunk=Chunk(s, d, 0.0, 1.0), src=u, dst=v, step=hop_index))
+            max_steps = max(max_steps, hop_index)
+    schedule = LinkSchedule(topology=topology, num_steps=max_steps, operations=ops,
+                            meta={"method": "direct-pairwise"})
+    schedule.validate_links()
+    return schedule

@@ -1,0 +1,121 @@
+"""FPTAS baseline for maximum concurrent multicommodity flow.
+
+Implements the Fleischer / Garg-Konemann style fully polynomial time
+approximation scheme that the paper compares against (Karakostas' scheme [26]
+is an optimized variant of the same multiplicative-weights framework; the
+asymptotics and the practical behaviour -- polynomial but much slower than the
+decomposed exact MCF at small epsilon -- are shared, which is the property
+Fig. 7 exercises).
+
+Algorithm sketch (phases / iterations):
+
+* every edge gets a length ``l(e) = delta / cap(e)``;
+* in each *phase*, every commodity routes its unit demand over successive
+  shortest paths under ``l``, saturating the bottleneck edge and multiplying
+  the traversed lengths by ``(1 + eps * sent / cap)``;
+* phases repeat until the "dual" value ``D = sum_e cap(e) l(e)`` reaches 1;
+* the accumulated per-commodity flows, scaled down by the maximum link
+  over-subscription, form a feasible concurrent flow within ``(1 - O(eps))``
+  of the optimum.
+
+The implementation is deliberately sequential (per the paper's observation
+that the FPTAS cannot exploit the parallelism the decomposed MCF can).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.flow import Commodity, FlowSolution
+from ..topology.base import Edge, Topology
+
+__all__ = ["fptas_max_concurrent_flow"]
+
+
+def fptas_max_concurrent_flow(topology: Topology, epsilon: float = 0.05,
+                              max_phases: Optional[int] = None) -> FlowSolution:
+    """Approximate the all-to-all max concurrent flow to a (1 - O(eps)) factor.
+
+    Parameters
+    ----------
+    epsilon:
+        Accuracy parameter; the paper's Fig. 7 uses 5% (eps = 0.05).
+    max_phases:
+        Optional safety cap on the number of phases (None = run to the
+        standard termination condition).
+
+    Returns
+    -------
+    FlowSolution
+        Feasible per-commodity flows and the achieved concurrent flow value
+        (a lower bound on the optimum).
+    """
+    if not (0.0 < epsilon < 1.0):
+        raise ValueError("epsilon must be in (0, 1)")
+    if not topology.is_strongly_connected():
+        raise ValueError("FPTAS requires a strongly connected topology")
+
+    start = time.perf_counter()
+    edges = topology.edges
+    caps = topology.capacities()
+    commodities = list(topology.commodities())
+    m = len(edges)
+    delta = (m / (1.0 - epsilon)) ** (-1.0 / epsilon)
+
+    length: Dict[Edge, float] = {e: delta / caps[e] for e in edges}
+    flows: Dict[Commodity, Dict[Edge, float]] = {c: defaultdict(float) for c in commodities}
+
+    graph = topology.graph
+
+    def dual() -> float:
+        return sum(caps[e] * length[e] for e in edges)
+
+    phases = 0
+    while dual() < 1.0:
+        phases += 1
+        if max_phases is not None and phases > max_phases:
+            break
+        for (s, d) in commodities:
+            remaining = 1.0
+            while remaining > 1e-12:
+                path = nx.shortest_path(graph, s, d,
+                                        weight=lambda u, v, data: length[(u, v)])
+                path_edges = list(zip(path[:-1], path[1:]))
+                bottleneck = min(caps[e] for e in path_edges)
+                send = min(remaining, bottleneck)
+                for e in path_edges:
+                    flows[(s, d)][e] += send
+                    length[e] *= (1.0 + epsilon * send / caps[e])
+                remaining -= send
+
+    elapsed = time.perf_counter() - start
+    if phases == 0:
+        # Degenerate: delta so large the loop never ran; fall back to one phase.
+        raise RuntimeError("FPTAS terminated before any phase; epsilon too large")
+
+    # Scale the accumulated flows down to feasibility.
+    loads: Dict[Edge, float] = {e: 0.0 for e in edges}
+    for per in flows.values():
+        for e, val in per.items():
+            loads[e] += val
+    max_over = max(loads[e] / caps[e] for e in edges if caps[e] > 0)
+    scale = 1.0 / max_over if max_over > 0 else 0.0
+    scaled_flows: Dict[Commodity, Dict[Edge, float]] = {
+        c: {e: v * scale for e, v in per.items() if v * scale > 1e-12}
+        for c, per in flows.items()
+    }
+    concurrent = phases * scale
+
+    return FlowSolution(
+        concurrent_flow=concurrent,
+        flows=scaled_flows,
+        topology=topology,
+        solve_seconds=elapsed,
+        meta={"method": "fptas", "epsilon": epsilon, "phases": phases,
+              "guarantee": f">= (1 - O({epsilon})) * OPT"},
+    )

@@ -1,0 +1,157 @@
+"""TACCL-surrogate: sketch-guided greedy time-stepped schedule synthesiser.
+
+The real TACCL [46] synthesises collective schedules with a mixed-integer
+program guided by human "communication sketches"; its cost grows quickly with
+network size (over 30 minutes for 32-node all-to-all, per §5.3) and the
+resulting schedules trail the MCF optimum by ~20-60% on the paper's
+topologies (Fig. 3).
+
+Reproducing the proprietary MILP encoding is out of scope, so this module
+provides a *behaviour-faithful surrogate* (documented in DESIGN.md): a
+sketch-enumerating greedy synthesiser.
+
+* A "sketch" fixes a priority order over commodities (rotation offset +
+  direction), mimicking TACCL's user-provided structure.
+* For a given sketch, the greedy pass schedules whole chunks step by step:
+  each link carries at most one chunk per step, and each node forwards the
+  queued chunk that makes the most progress toward its destination.
+* The synthesiser enumerates ``num_sketches`` sketches (default grows with N,
+  like TACCL's solver effort) and keeps the schedule with the fewest steps.
+
+Properties preserved from the baseline it stands in for: produces *valid*
+store-and-forward schedules on any topology, is markedly slower to synthesise
+than decomposed MCF as N grows, and achieves noticeably lower throughput than
+tsMCF (it moves whole chunks on single paths and cannot fractionally balance
+load).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.flow import Commodity
+from ..schedule.ir import Chunk, LinkSchedule, LinkSendOp
+from ..topology.base import Edge, Topology
+
+__all__ = ["taccl_like_schedule"]
+
+
+def taccl_like_schedule(topology: Topology, chunks_per_shard: int = 1,
+                        num_sketches: Optional[int] = None,
+                        max_steps: Optional[int] = None,
+                        time_budget: Optional[float] = None) -> LinkSchedule:
+    """Synthesise a link-based all-to-all schedule with the TACCL-like surrogate.
+
+    Parameters
+    ----------
+    chunks_per_shard:
+        Split every shard into this many equal chunks (finer granularity can
+        shorten the schedule at the cost of more instructions).
+    num_sketches:
+        Number of candidate sketches (commodity orderings) to try; defaults to
+        ``max(4, N // 2)`` so the synthesis effort grows with network size.
+    max_steps:
+        Safety bound on schedule length (defaults to ``4 * diameter + 8``).
+    time_budget:
+        Optional wall-clock budget in seconds; synthesis stops early and keeps
+        the best schedule found so far once exceeded.
+    """
+    if chunks_per_shard < 1:
+        raise ValueError("chunks_per_shard must be >= 1")
+    n = topology.num_nodes
+    if num_sketches is None:
+        num_sketches = max(4, n // 2)
+
+    start = time.perf_counter()
+    dist = dict(nx.all_pairs_shortest_path_length(topology.graph))
+    if max_steps is None:
+        # One whole chunk per link per step, so the schedule needs at least
+        # total-shard-hops / num-links steps; allow generous greedy slack.
+        total_hops = sum(dist[s][d] for s, d in topology.commodities())
+        congestion_bound = -(-total_hops * chunks_per_shard // max(topology.num_edges, 1))
+        max_steps = max(4 * topology.diameter() + 8, 3 * congestion_bound + 10)
+
+    best: Optional[List[LinkSendOp]] = None
+    best_steps = None
+    sketches_tried = 0
+    for sketch in range(num_sketches):
+        if time_budget is not None and time.perf_counter() - start > time_budget and best is not None:
+            break
+        ops, steps = _greedy_synthesis(topology, dist, chunks_per_shard,
+                                       rotation=sketch, max_steps=max_steps)
+        sketches_tried += 1
+        if ops is None:
+            continue
+        if best is None or steps < best_steps:
+            best, best_steps = ops, steps
+    if best is None:
+        raise RuntimeError("TACCL-like synthesis failed to produce a schedule")
+
+    elapsed = time.perf_counter() - start
+    schedule = LinkSchedule(topology=topology, num_steps=best_steps, operations=best,
+                            meta={"method": "taccl-like", "chunks_per_shard": chunks_per_shard,
+                                  "sketches_tried": sketches_tried,
+                                  "synthesis_seconds": elapsed})
+    schedule.validate_links()
+    return schedule
+
+
+def _greedy_synthesis(topology: Topology, dist: Dict[int, Dict[int, int]],
+                      chunks_per_shard: int, rotation: int,
+                      max_steps: int) -> Tuple[Optional[List[LinkSendOp]], Optional[int]]:
+    """One greedy pass for a given sketch (rotation of the commodity priority)."""
+    n = topology.num_nodes
+    frac = 1.0 / chunks_per_shard
+    # Each chunk: (source, destination, index); location tracks where it currently is.
+    chunks: List[Tuple[int, int, int]] = []
+    for s in range(n):
+        for d in range(n):
+            if d == s:
+                continue
+            for k in range(chunks_per_shard):
+                chunks.append((s, d, k))
+    location = {c: c[0] for c in chunks}
+    pending = set(c for c in chunks if c[0] != c[1])
+
+    ops: List[LinkSendOp] = []
+    step = 0
+    while pending:
+        step += 1
+        if step > max_steps:
+            return None, None
+        used_links: set = set()
+        moved_this_step: set = set()
+        # Priority: chunks furthest from destination move first (they are on
+        # the critical path), ties broken by the sketch ordering.
+        order = sorted(pending,
+                       key=lambda c: (-dist[location[c]][c[1]], (c[0] + rotation) % n, c[1], c[2]))
+        for c in order:
+            if c in moved_this_step:
+                continue
+            here = location[c]
+            target = c[1]
+            # Candidate next hops sorted by remaining distance then node id.
+            candidates = sorted(topology.successors(here),
+                                key=lambda v: (dist[v][target], v))
+            for v in candidates:
+                if dist[v][target] >= dist[here][target]:
+                    break  # no progress possible via remaining candidates
+                if (here, v) in used_links:
+                    continue
+                used_links.add((here, v))
+                lo = c[2] * frac
+                hi = min((c[2] + 1) * frac, 1.0)
+                ops.append(LinkSendOp(chunk=Chunk(c[0], c[1], lo, hi), src=here, dst=v, step=step))
+                location[c] = v
+                moved_this_step.add(c)
+                if v == target:
+                    pending.discard(c)
+                break
+        if not moved_this_step:
+            # Deadlock in the greedy pass (all useful links taken by chunks
+            # that cannot progress); treat as failure for this sketch.
+            return None, None
+    return ops, step

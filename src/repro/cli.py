@@ -1,0 +1,235 @@
+"""Command-line interface for schedule synthesis, simulation and comparison.
+
+Mirrors the tool chain a user of the paper's system would drive:
+
+* ``repro topology``    -- build a topology from a spec and print its properties;
+* ``repro synthesize``  -- synthesise an all-to-all schedule (Fig. 1 pipeline)
+  and optionally write the lowered XML;
+* ``repro simulate``    -- run a synthesised schedule on the simulated fabric
+  across a buffer sweep and print the throughput series;
+* ``repro compare``     -- compare several schemes on one topology (Fig. 8 style).
+
+Topology specs are compact strings such as ``genkautz:d=4,n=24``,
+``torus:dims=3x3x3``, ``hypercube:dim=3``, ``bipartite:left=4,right=4``,
+``xpander:d=4,lift=5``, ``rrg:d=4,n=20,seed=1``.
+
+Run ``python -m repro.cli --help`` for the full usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis import format_table
+from .analysis.sweep import available_schemes, compare_schemes
+from .core import (
+    ForwardingModel,
+    SchedulingRequest,
+    generate_schedule,
+    solve_mcf_extract_paths,
+)
+from .core.mcf_path import PathSchedule
+from .core.mcf_timestepped import TimeSteppedFlow
+from .routing import lash_sequential_assign
+from .schedule import (
+    chunk_path_schedule,
+    chunk_timestepped_flow,
+    compile_to_msccl_xml,
+    compile_to_ompi_xml,
+)
+from .simulator import a100_ml_fabric, cerio_hpc_fabric, throughput_sweep
+from .topology import (
+    Topology,
+    complete_bipartite,
+    generalized_kautz,
+    hypercube,
+    properties,
+    random_regular,
+    torus,
+    twisted_hypercube,
+    xpander,
+)
+
+__all__ = ["build_topology", "main"]
+
+
+def _parse_kv(spec: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    if not spec:
+        return out
+    for item in spec.split(","):
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"malformed topology parameter {item!r} (expected key=value)")
+        key, value = item.split("=", 1)
+        out[key.strip()] = value.strip()
+    return out
+
+
+def build_topology(spec: str) -> Topology:
+    """Build a topology from a ``family:key=value,...`` spec string."""
+    if ":" in spec:
+        family, rest = spec.split(":", 1)
+    else:
+        family, rest = spec, ""
+    family = family.strip().lower()
+    params = _parse_kv(rest)
+
+    if family in ("genkautz", "kautz"):
+        return generalized_kautz(int(params.get("d", 4)), int(params.get("n", 16)))
+    if family == "hypercube":
+        return hypercube(int(params.get("dim", 3)))
+    if family in ("twisted", "twisted-hypercube"):
+        return twisted_hypercube(int(params.get("dim", 3)))
+    if family == "bipartite":
+        left = int(params.get("left", 4))
+        right = int(params.get("right", left))
+        return complete_bipartite(left, right)
+    if family in ("torus", "mesh"):
+        dims = [int(x) for x in params.get("dims", "3x3").split("x")]
+        return torus(dims, wrap=(family == "torus"))
+    if family == "xpander":
+        return xpander(int(params.get("d", 4)), int(params.get("lift", 4)),
+                       seed=int(params.get("seed", 0)))
+    if family in ("rrg", "random-regular", "jellyfish"):
+        return random_regular(int(params.get("d", 4)), int(params.get("n", 16)),
+                              seed=int(params.get("seed", 0)))
+    raise ValueError(f"unknown topology family {family!r}")
+
+
+def _fabric(name: str):
+    if name == "hpc":
+        return cerio_hpc_fabric()
+    if name == "ml":
+        return a100_ml_fabric()
+    raise ValueError(f"unknown fabric {name!r} (expected 'hpc' or 'ml')")
+
+
+def _buffer_list(spec: str) -> List[float]:
+    return [float(int(x)) for x in spec.split(",") if x]
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_topology(args: argparse.Namespace) -> int:
+    topo = build_topology(args.topology)
+    stats = properties.summary(topo)
+    rows = [[key, value] for key, value in stats.items()]
+    print(format_table(["property", "value"], rows, title=f"{topo.name} (N={topo.num_nodes})"))
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    topo = build_topology(args.topology)
+    request = SchedulingRequest(
+        forwarding=ForwardingModel.NIC if args.fabric == "hpc" else ForwardingModel.HOST,
+        host_bandwidth=args.host_bandwidth,
+        n_jobs=args.jobs,
+    )
+    schedule = generate_schedule(topo, request)
+    if isinstance(schedule, TimeSteppedFlow):
+        link_schedule = chunk_timestepped_flow(schedule)
+        xml = compile_to_msccl_xml(link_schedule)
+        print(f"tsMCF schedule: {schedule.num_steps} steps, "
+              f"total utilization {schedule.total_utilization:.3f} "
+              f"(equivalent F = {schedule.equivalent_concurrent_flow():.4f})")
+    elif isinstance(schedule, PathSchedule):
+        routes = [tuple(p.nodes) for plist in schedule.paths.values() for p in plist]
+        layers = lash_sequential_assign(routes)
+        routed = chunk_path_schedule(schedule, layers=layers.layer_of)
+        xml = compile_to_ompi_xml(routed)
+        print(f"path schedule ({schedule.meta.get('pipeline', 'pmcf')}): "
+              f"F = {schedule.concurrent_flow:.4f}, "
+              f"{len(routed.assignments)} chunk assignments, "
+              f"{layers.num_layers} VC layer(s)")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unexpected schedule type {type(schedule)!r}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(xml)
+        print(f"wrote {len(xml)} bytes of XML to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topo = build_topology(args.topology)
+    fabric = _fabric(args.fabric)
+    schedule = solve_mcf_extract_paths(topo, n_jobs=args.jobs)
+    routed = chunk_path_schedule(schedule)
+    buffers = _buffer_list(args.buffers)
+    results = throughput_sweep(routed, buffers, fabric=fabric)
+    rows = [[int(r.buffer_bytes), r.completion_time, r.throughput / 1e9] for r in results]
+    print(format_table(["buffer bytes", "time (s)", "throughput GB/s"], rows,
+                       title=f"MCF-extP all-to-all on {topo.name} ({args.fabric} fabric)"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    topo = build_topology(args.topology)
+    schemes = args.schemes.split(",") if args.schemes else ["mcf-extp", "ewsp", "sssp", "native"]
+    buffers = _buffer_list(args.buffers) if args.buffers else None
+    results = compare_schemes(topo, schemes, buffer_sizes=buffers, fabric=_fabric(args.fabric))
+    rows = []
+    for r in results:
+        if r.error:
+            rows.append([r.scheme, "error", "-", r.error[:40]])
+            continue
+        rows.append([r.scheme, r.all_to_all_time,
+                     "-" if r.normalized_time is None else round(r.normalized_time, 3),
+                     " ".join(f"{tp / 1e9:.2f}" for tp in r.throughputs.values()) or "-"])
+    print(format_table(["scheme", "all-to-all time", "vs MCF", "throughput GB/s"],
+                       rows, title=f"Scheme comparison on {topo.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="All-to-all collective schedule synthesis for direct-connect topologies")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topology", help="print properties of a topology spec")
+    p_topo.add_argument("topology", help="topology spec, e.g. genkautz:d=4,n=24")
+    p_topo.set_defaults(func=_cmd_topology)
+
+    p_syn = sub.add_parser("synthesize", help="synthesise a schedule and emit XML")
+    p_syn.add_argument("topology")
+    p_syn.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_syn.add_argument("--host-bandwidth", type=float, default=None,
+                       help="host injection bandwidth in link units (triggers Fig. 2 augmentation)")
+    p_syn.add_argument("--output", "-o", default=None, help="write the lowered XML here")
+    p_syn.add_argument("--jobs", type=int, default=1, help="parallel child-LP workers")
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_sim = sub.add_parser("simulate", help="simulate the MCF-extP schedule on a fabric")
+    p_sim.add_argument("topology")
+    p_sim.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_sim.add_argument("--buffers", default="1048576,16777216,268435456",
+                       help="comma-separated per-node buffer sizes in bytes")
+    p_sim.add_argument("--jobs", type=int, default=1)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="compare schemes on a topology")
+    p_cmp.add_argument("topology")
+    p_cmp.add_argument("--schemes", default=None,
+                       help=f"comma-separated scheme names from: {', '.join(available_schemes())}")
+    p_cmp.add_argument("--buffers", default=None)
+    p_cmp.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

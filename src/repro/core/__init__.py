@@ -1,0 +1,73 @@
+"""Core contribution: MCF-based all-to-all schedule synthesis."""
+
+from .bottleneck import AugmentedTopology, augment_host_nic_bottleneck, project_flow_to_hosts
+from .flow import (
+    Commodity,
+    FlowSolution,
+    WeightedPath,
+    conservation_violation,
+    flow_to_paths,
+    max_link_utilization,
+    repair_conservation,
+)
+from .lower_bound import (
+    ideal_arborescence_distance_sum,
+    lower_bound_time_graph,
+    lower_bound_time_regular,
+    throughput_upper_bound,
+    upper_bound_concurrent_flow,
+)
+from .mcf_decomposed import (
+    DecomposedTimings,
+    MasterSolution,
+    solve_child_lp,
+    solve_decomposed_mcf,
+    solve_master_lp,
+)
+from .mcf_link import solve_link_mcf
+from .mcf_path import PathSchedule, path_schedule_from_single_paths, solve_path_mcf
+from .mcf_timestepped import TimeSteppedFlow, solve_timestepped_mcf
+from .mcf_ts_decomposed import solve_timestepped_mcf_decomposed
+from .path_extraction import extract_paths, solve_mcf_extract_paths
+from .pipeline import ForwardingModel, SchedulingRequest, estimate_path_diversity, generate_schedule
+from .solver import LPBuilder, LPSolution, SolverError, VariableIndex
+
+__all__ = [
+    "AugmentedTopology",
+    "augment_host_nic_bottleneck",
+    "project_flow_to_hosts",
+    "Commodity",
+    "FlowSolution",
+    "WeightedPath",
+    "conservation_violation",
+    "flow_to_paths",
+    "max_link_utilization",
+    "repair_conservation",
+    "ideal_arborescence_distance_sum",
+    "lower_bound_time_graph",
+    "lower_bound_time_regular",
+    "throughput_upper_bound",
+    "upper_bound_concurrent_flow",
+    "DecomposedTimings",
+    "MasterSolution",
+    "solve_child_lp",
+    "solve_decomposed_mcf",
+    "solve_master_lp",
+    "solve_link_mcf",
+    "PathSchedule",
+    "path_schedule_from_single_paths",
+    "solve_path_mcf",
+    "TimeSteppedFlow",
+    "solve_timestepped_mcf",
+    "solve_timestepped_mcf_decomposed",
+    "extract_paths",
+    "solve_mcf_extract_paths",
+    "ForwardingModel",
+    "SchedulingRequest",
+    "estimate_path_diversity",
+    "generate_schedule",
+    "LPBuilder",
+    "LPSolution",
+    "SolverError",
+    "VariableIndex",
+]

@@ -1,0 +1,222 @@
+"""Flow solution data structures and flow hygiene utilities.
+
+The LP formulations in §3.1 use an *inequality* form of flow conservation
+(eq. 3) for solver speed, which means the returned flow for a commodity may
+carry extra flow near the source or contain circulation that never reaches the
+destination.  The paper applies a post-processing step to restore exact
+conservation; :func:`repair_conservation` implements it by decomposing each
+commodity's flow into source->destination paths (dropping excess flow and
+cycles) and re-accumulating link flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..topology.base import Edge, Topology
+
+Commodity = Tuple[int, int]
+
+__all__ = ["Commodity", "FlowSolution", "WeightedPath", "flow_to_paths",
+           "repair_conservation", "max_link_utilization", "conservation_violation"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class WeightedPath:
+    """A source->destination path carrying a fractional flow ``weight``."""
+
+    nodes: Tuple[int, ...]
+    weight: float
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(zip(self.nodes[:-1], self.nodes[1:]))
+
+    def __len__(self) -> int:
+        return len(self.nodes) - 1
+
+
+@dataclass
+class FlowSolution:
+    """Per-commodity link flows plus the concurrent flow value ``F``.
+
+    ``flows[(s, d)][(u, v)]`` is the amount of commodity ``(s, d)`` routed over
+    directed link ``(u, v)`` per unit of concurrent demand.
+    """
+
+    concurrent_flow: float
+    flows: Dict[Commodity, Dict[Edge, float]]
+    topology: Topology
+    solve_seconds: float = 0.0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def commodity_flow(self, s: int, d: int) -> Dict[Edge, float]:
+        """Link flows of commodity ``(s, d)`` (empty dict if absent)."""
+        return self.flows.get((s, d), {})
+
+    def link_loads(self) -> Dict[Edge, float]:
+        """Total flow per link, summed over commodities."""
+        loads: Dict[Edge, float] = {e: 0.0 for e in self.topology.edges}
+        for per_edge in self.flows.values():
+            for e, val in per_edge.items():
+                loads[e] = loads.get(e, 0.0) + val
+        return loads
+
+    def delivered(self, s: int, d: int) -> float:
+        """Flow of commodity (s, d) arriving at d (net of flow leaving d)."""
+        arriving = sum(v for (u, w), v in self.commodity_flow(s, d).items() if w == d)
+        leaving = sum(v for (u, w), v in self.commodity_flow(s, d).items() if u == d)
+        return arriving - leaving
+
+    def all_to_all_time(self) -> float:
+        """Normalized all-to-all time = 1 / F (equals the maximum link load
+        for an optimal solution with unit capacities)."""
+        if self.concurrent_flow <= 0:
+            return float("inf")
+        return 1.0 / self.concurrent_flow
+
+    def min_delivered(self) -> float:
+        """Minimum delivered flow over all commodities (should be >= F)."""
+        return min(self.delivered(s, d) for s, d in self.topology.commodities())
+
+
+def conservation_violation(flow: Mapping[Edge, float], source: int, destination: int) -> float:
+    """Maximum absolute conservation violation at intermediate nodes.
+
+    For exact conservation the net flow (in minus out) must be zero at every
+    node other than the source and destination.
+    """
+    net: Dict[int, float] = {}
+    for (u, v), val in flow.items():
+        net[u] = net.get(u, 0.0) - val
+        net[v] = net.get(v, 0.0) + val
+    worst = 0.0
+    for node, imbalance in net.items():
+        if node in (source, destination):
+            continue
+        worst = max(worst, abs(imbalance))
+    return worst
+
+
+def flow_to_paths(flow: Mapping[Edge, float], source: int, destination: int,
+                  tol: float = _EPS) -> List[WeightedPath]:
+    """Decompose a single-commodity link flow into weighted s->d paths.
+
+    Uses iterative widest-path extraction on the flow-induced subgraph: find
+    the s->d path whose bottleneck flow is largest, subtract it, and repeat.
+    Excess flow (circulations, over-injection near the source allowed by the
+    inequality-form conservation constraint) is simply never extracted, so the
+    output is a clean path decomposition of the *delivered* flow.
+    """
+    residual: Dict[Edge, float] = {e: v for e, v in flow.items() if v > tol}
+    paths: List[WeightedPath] = []
+    # Guard: each iteration removes at least one edge from the residual,
+    # so the loop terminates after at most |E| iterations.
+    for _ in range(len(residual) + 1):
+        path = _widest_path(residual, source, destination, tol)
+        if path is None:
+            break
+        bottleneck = min(residual[e] for e in zip(path[:-1], path[1:]))
+        for e in zip(path[:-1], path[1:]):
+            residual[e] -= bottleneck
+            if residual[e] <= tol:
+                del residual[e]
+        paths.append(WeightedPath(nodes=tuple(path), weight=bottleneck))
+    return paths
+
+
+def _widest_path(capacity: Mapping[Edge, float], source: int, destination: int,
+                 tol: float) -> Optional[List[int]]:
+    """Max-bottleneck (widest) path via a Dijkstra variant; None if no path."""
+    import heapq
+
+    adj: Dict[int, List[Tuple[int, float]]] = {}
+    for (u, v), c in capacity.items():
+        if c > tol:
+            adj.setdefault(u, []).append((v, c))
+    best: Dict[int, float] = {source: float("inf")}
+    parent: Dict[int, int] = {}
+    heap = [(-float("inf"), source)]
+    visited = set()
+    while heap:
+        neg_width, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        if u == destination:
+            break
+        for v, c in adj.get(u, []):
+            width = min(-neg_width, c)
+            if width > best.get(v, 0.0) + tol:
+                best[v] = width
+                parent[v] = u
+                heapq.heappush(heap, (-width, v))
+    if destination not in visited and destination not in parent:
+        return None
+    if destination not in best:
+        return None
+    # Reconstruct.
+    path = [destination]
+    while path[-1] != source:
+        if path[-1] not in parent:
+            return None
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def repair_conservation(solution: FlowSolution, tol: float = 1e-7) -> FlowSolution:
+    """Return a flow solution with exact conservation per commodity.
+
+    Each commodity's flow is decomposed into s->d paths whose total weight is
+    clipped to the concurrent flow value ``F`` (extra delivered flow beyond F
+    is harmless but unnecessary and is removed for clean schedules), and the
+    link flows are rebuilt from the path decomposition.  The concurrent flow
+    value is unchanged.
+    """
+    new_flows: Dict[Commodity, Dict[Edge, float]] = {}
+    target = solution.concurrent_flow
+    for (s, d), per_edge in solution.flows.items():
+        paths = flow_to_paths(per_edge, s, d)
+        rebuilt: Dict[Edge, float] = {}
+        remaining = target
+        for p in sorted(paths, key=lambda p: -p.weight):
+            if remaining <= tol:
+                break
+            take = min(p.weight, remaining)
+            for e in p.edges:
+                rebuilt[e] = rebuilt.get(e, 0.0) + take
+            remaining -= take
+        new_flows[(s, d)] = rebuilt
+    return FlowSolution(
+        concurrent_flow=solution.concurrent_flow,
+        flows=new_flows,
+        topology=solution.topology,
+        solve_seconds=solution.solve_seconds,
+        meta={**solution.meta, "conservation_repaired": True},
+    )
+
+
+def max_link_utilization(solution: FlowSolution) -> float:
+    """Maximum of (link load / link capacity) over all links."""
+    caps = solution.topology.capacities()
+    loads = solution.link_loads()
+    worst = 0.0
+    for e, load in loads.items():
+        cap = caps.get(e, 0.0)
+        if cap > 0:
+            worst = max(worst, load / cap)
+    return worst

@@ -1,0 +1,97 @@
+"""Lower bounds on all-to-all time (Theorem 1 and the per-graph distance bound).
+
+Theorem 1 (§5.4): in any d-regular graph on N nodes, the all-to-all completion
+time (per unit shard, unit link capacity) is at least
+
+    T >= sum_{u in T_{d,N}} D(r, u) / d
+
+where ``T_{d,N}`` is an ideal out-arborescence with N nodes and out-degree d
+(levels are fully packed with d^k nodes).  This scales as Theta(N log_d N).
+
+For a *specific* graph G the analogous (tighter) bound replaces the ideal
+arborescence distances by G's actual shortest-path distances:
+
+    T >= sum_{s != d} dist_G(s, d) / (total link capacity)
+
+because every unit of commodity (s, d) must cross at least dist(s, d) links.
+The reciprocal of this bound upper-bounds the concurrent flow value F.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..topology.base import Topology
+from ..topology import properties
+
+__all__ = [
+    "ideal_arborescence_distance_sum",
+    "lower_bound_time_regular",
+    "lower_bound_time_graph",
+    "upper_bound_concurrent_flow",
+    "throughput_upper_bound",
+]
+
+
+def ideal_arborescence_distance_sum(degree: int, num_nodes: int) -> float:
+    """Sum of root-to-node distances in an ideal d-ary arborescence on N nodes.
+
+    Levels ``k = 0, 1, 2, ...`` hold ``d^k`` nodes each until the node budget is
+    exhausted; the final (possibly partial) level holds the remainder.  This is
+    the minimum possible total distance from one root to N-1 other nodes in any
+    graph with out-degree d, which is what Theorem 1's proof uses.
+    """
+    if degree < 1 or num_nodes < 1:
+        raise ValueError("degree and num_nodes must be positive")
+    remaining = num_nodes - 1  # exclude the root itself
+    total = 0.0
+    level = 1
+    width = degree
+    while remaining > 0:
+        take = min(width, remaining)
+        total += level * take
+        remaining -= take
+        level += 1
+        if degree > 1:
+            width *= degree
+    return total
+
+
+def lower_bound_time_regular(degree: int, num_nodes: int) -> float:
+    """Theorem 1 lower bound on all-to-all time for any d-regular, N-node graph.
+
+    Time is normalized to (shard bytes / link bandwidth) units, i.e. the value
+    is directly comparable to ``1/F`` of an MCF solution on unit-capacity links.
+    """
+    return ideal_arborescence_distance_sum(degree, num_nodes) / degree
+
+
+def lower_bound_time_graph(topology: Topology) -> float:
+    """Distance-based lower bound on all-to-all time for a specific graph.
+
+    Equals ``sum of pairwise distances / total capacity``; always at least the
+    Theorem 1 bound evaluated at the graph's maximum degree.
+    """
+    total_dist = properties.total_pairwise_distance(topology)
+    total_cap = sum(topology.capacities().values())
+    if total_cap <= 0:
+        return float("inf")
+    return total_dist / total_cap
+
+
+def upper_bound_concurrent_flow(topology: Topology) -> float:
+    """Upper bound on the concurrent flow value F (reciprocal of the time bound)."""
+    bound = lower_bound_time_graph(topology)
+    return 0.0 if bound == float("inf") else 1.0 / bound
+
+
+def throughput_upper_bound(num_nodes: int, concurrent_flow: float,
+                           link_bandwidth_bytes: float) -> float:
+    """Paper's throughput upper bound ``(N - 1) * f * b`` in bytes/second.
+
+    ``f`` is the optimal concurrent flow value with unit link capacities and
+    ``b`` the link bandwidth in bytes/second (§5.2: on the bottlenecked 3D
+    torus, (26)(2/27)(3.125 GB/s) = 6.01 GB/s).
+    """
+    return (num_nodes - 1) * concurrent_flow * link_bandwidth_bytes

@@ -1,0 +1,256 @@
+"""Decomposed link-based MCF: master LP + N parallelizable child LPs (§3.1.2).
+
+The master LP (eqs. 6-9) groups the ``N(N-1)`` commodities into ``N``
+source-rooted grouped flows, reducing the variable count from ``O(k N^3)`` to
+``O(k N^2)``.  Its source-based conservation constraint (eq. 8) states that at
+every node ``u != s`` the grouped flow of source ``s`` entering ``u`` must
+cover both the flow forwarded onwards and the share ``F`` sunk at ``u``.
+
+Each child LP (eqs. 10-14), one per source ``s``, then splits the grouped flow
+``f'_s`` into per-destination commodity flows on a graph whose link capacities
+are set to the master solution, minimizing total flow (which discourages
+gratuitous detours).  Child LPs are independent and can be solved in parallel.
+
+The decomposition returns the same optimal concurrent flow value ``F`` as the
+original MCF (the grouped flow is a relaxation whose value is achievable, and
+any per-commodity solution aggregates to a feasible grouped flow), although
+the individual link flows may differ.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.base import Edge, Topology
+from .flow import Commodity, FlowSolution, repair_conservation
+from .mcf_link import terminal_commodities
+from .solver import LPBuilder, SolverError
+
+__all__ = ["solve_decomposed_mcf", "solve_master_lp", "solve_child_lp",
+           "DecomposedTimings", "MasterSolution"]
+
+_FLOW_TOL = 1e-9
+
+
+@dataclass
+class MasterSolution:
+    """Master LP output: concurrent flow value and grouped per-source flows."""
+
+    concurrent_flow: float
+    grouped_flows: Dict[int, Dict[Edge, float]]
+    solve_seconds: float
+
+
+@dataclass
+class DecomposedTimings:
+    """Wall-clock breakdown reported in Fig. 7 (master / child / total)."""
+
+    master_seconds: float = 0.0
+    child_seconds_each: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def max_child_seconds(self) -> float:
+        """Per-child max — the critical path when children run fully in parallel."""
+        return max(self.child_seconds_each, default=0.0)
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Estimated runtime when all child LPs run in parallel on N cores."""
+        return self.master_seconds + self.max_child_seconds
+
+
+def solve_master_lp(topology: Topology,
+                    terminals: Optional[List[int]] = None) -> MasterSolution:
+    """Solve the source-grouped master LP (eqs. 6-9).
+
+    ``terminals`` optionally restricts the set of nodes that source and sink
+    traffic (all-to-all among terminals, e.g. the host vertices of an
+    augmented topology); non-terminal nodes are pure relays with plain flow
+    conservation.
+    """
+    if not topology.is_strongly_connected():
+        raise ValueError("MCF requires a strongly connected topology")
+    start = time.perf_counter()
+    edges = topology.edges
+    caps = topology.capacities()
+    nodes = topology.nodes
+    if terminals is None:
+        sources = list(nodes)
+        terminal_set = set(nodes)
+    else:
+        sources = sorted(set(int(t) for t in terminals))
+        terminal_set = set(sources)
+        if len(sources) < 2:
+            raise ValueError("need at least two terminals")
+
+    lp = LPBuilder()
+    g_key = lambda s, e: ("g", s, e)
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    for s in sources:
+        for e in edges:
+            lp.add_variable(g_key(s, e), lb=0.0)
+
+    # (7) capacity per link over all source groups.
+    for e in edges:
+        lp.add_le([(g_key(s, e), 1.0) for s in sources], caps[e])
+
+    # (8) source-based conservation: F + outflow <= inflow at every terminal
+    # u != s; non-terminal relays only forward (outflow <= inflow).
+    out_edges = {u: topology.out_edges(u) for u in nodes}
+    in_edges = {u: topology.in_edges(u) for u in nodes}
+    for s in sources:
+        for u in nodes:
+            if u == s:
+                continue
+            terms = [("F", 1.0)] if u in terminal_set else []
+            terms += [(g_key(s, e), 1.0) for e in out_edges[u]]
+            terms += [(g_key(s, e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+
+    solution = lp.solve(maximize=True)
+    elapsed = time.perf_counter() - start
+    grouped: Dict[int, Dict[Edge, float]] = {}
+    for s in sources:
+        per_edge = {}
+        for e in edges:
+            val = solution.value(g_key(s, e))
+            if val > _FLOW_TOL:
+                per_edge[e] = val
+        grouped[s] = per_edge
+    return MasterSolution(concurrent_flow=float(solution.value("F")),
+                          grouped_flows=grouped, solve_seconds=elapsed)
+
+
+def solve_child_lp(topology: Topology, source: int, grouped_flow: Dict[Edge, float],
+                   concurrent_flow: float, slack: float = 1e-7,
+                   destinations: Optional[List[int]] = None
+                   ) -> Tuple[Dict[Commodity, Dict[Edge, float]], float]:
+    """Solve the child LP for one source (eqs. 10-14).
+
+    The grouped flow of ``source`` acts as per-link capacity; the LP finds
+    per-destination flows each delivering ``F`` (minus a tiny numerical slack)
+    while minimizing total flow.  ``destinations`` defaults to every other
+    node; pass the terminal set when only some nodes sink traffic.
+
+    Returns the per-commodity flows for all (source, d) pairs and the solve time.
+    """
+    start = time.perf_counter()
+    nodes = topology.nodes
+    if destinations is None:
+        destinations = [d for d in nodes if d != source]
+    else:
+        destinations = [d for d in destinations if d != source]
+    # Only edges that carry grouped flow can carry per-commodity flow.
+    edges = [e for e in topology.edges if grouped_flow.get(e, 0.0) > _FLOW_TOL]
+
+    lp = LPBuilder()
+    f_key = lambda d, e: ("f", d, e)
+    for d in destinations:
+        for e in edges:
+            lp.add_variable(f_key(d, e), lb=0.0, objective=1.0)
+
+    # (11) per-link cap = grouped flow.
+    for e in edges:
+        lp.add_le([(f_key(d, e), 1.0) for d in destinations], grouped_flow[e])
+
+    out_edges = {u: [e for e in edges if e[0] == u] for u in nodes}
+    in_edges = {u: [e for e in edges if e[1] == u] for u in nodes}
+    demand = max(concurrent_flow - slack, 0.0)
+    for d in destinations:
+        # (12) conservation at intermediate nodes.
+        for u in nodes:
+            if u == source or u == d:
+                continue
+            terms = [(f_key(d, e), 1.0) for e in out_edges[u]]
+            terms += [(f_key(d, e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+        # (13) demand at the sink; the sink never re-emits its own commodity
+        # (prevents circulation through d from faking delivered demand).
+        lp.add_ge([(f_key(d, e), 1.0) for e in in_edges[d]], demand)
+        for e in out_edges[d]:
+            lp.add_le([(f_key(d, e), 1.0)], 0.0)
+
+    solution = lp.solve(maximize=False)
+    elapsed = time.perf_counter() - start
+    flows: Dict[Commodity, Dict[Edge, float]] = {}
+    for d in destinations:
+        per_edge = {}
+        for e in edges:
+            val = solution.value(f_key(d, e))
+            if val > _FLOW_TOL:
+                per_edge[e] = val
+        flows[(source, d)] = per_edge
+    return flows, elapsed
+
+
+def _child_worker(args) -> Tuple[int, Dict[Commodity, Dict[Edge, float]], float]:
+    topology, source, grouped_flow, concurrent_flow, destinations = args
+    flows, elapsed = solve_child_lp(topology, source, grouped_flow, concurrent_flow,
+                                    destinations=destinations)
+    return source, flows, elapsed
+
+
+def solve_decomposed_mcf(topology: Topology, repair: bool = True,
+                         n_jobs: int = 1,
+                         terminals: Optional[List[int]] = None) -> FlowSolution:
+    """Solve the decomposed MCF (master + N child LPs).
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of worker processes for the child LPs.  ``1`` (default) solves
+        them serially in-process, which is deterministic and test friendly;
+        larger values use a process pool (the paper runs the N child LPs on N
+        cores).
+    terminals:
+        Optional subset of nodes that exchange data; other nodes only relay
+        (host-NIC augmented topologies).
+
+    Returns
+    -------
+    FlowSolution
+        Same optimal ``F`` as :func:`repro.core.mcf_link.solve_link_mcf`; the
+        meta dict carries a :class:`DecomposedTimings` breakdown under
+        ``"timings"``.
+    """
+    total_start = time.perf_counter()
+    master = solve_master_lp(topology, terminals=terminals)
+    timings = DecomposedTimings(master_seconds=master.solve_seconds)
+
+    flows: Dict[Commodity, Dict[Edge, float]] = {}
+    sources = topology.nodes if terminals is None else sorted(set(terminals))
+    destinations = None if terminals is None else sorted(set(terminals))
+    if n_jobs <= 1:
+        for s in sources:
+            child_flows, elapsed = solve_child_lp(
+                topology, s, master.grouped_flows[s], master.concurrent_flow,
+                destinations=destinations)
+            flows.update(child_flows)
+            timings.child_seconds_each.append(elapsed)
+    else:
+        args = [(topology, s, master.grouped_flows[s], master.concurrent_flow, destinations)
+                for s in sources]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for source, child_flows, elapsed in pool.map(_child_worker, args):
+                flows.update(child_flows)
+                timings.child_seconds_each.append(elapsed)
+
+    timings.total_seconds = time.perf_counter() - total_start
+    result = FlowSolution(
+        concurrent_flow=master.concurrent_flow,
+        flows=flows,
+        topology=topology,
+        solve_seconds=timings.total_seconds,
+        meta={"method": "mcf-decomposed", "timings": timings,
+              "master_seconds": timings.master_seconds,
+              "parallel_seconds": timings.parallel_seconds},
+    )
+    if repair:
+        result = repair_conservation(result)
+        result.solve_seconds = timings.total_seconds
+        result.meta["timings"] = timings
+    return result

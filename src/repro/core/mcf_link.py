@@ -1,0 +1,140 @@
+"""Link-variable based max-concurrent MCF formulation (§3.1.1, eqs. 1-5).
+
+Maximizes the common concurrent rate ``F`` at which every one of the
+``N(N-1)`` commodities (ordered node pairs) can flow, subject to link
+capacities.  Variables ``f[(s,d),(u,v)]`` give the amount of commodity (s,d)
+routed on each directed link.  Flow conservation is written as an inequality
+(outflow <= inflow at every intermediate node) and the demand constraint is
+only enforced at the sink, exactly as in the paper; the optional
+post-processing step (:func:`repro.core.flow.repair_conservation`) restores
+exact conservation for schedule generation.
+
+This formulation has ``O(N^2 * E) = O(k N^3)`` variables for a k-regular graph
+and is the scalability bottleneck the decomposition of §3.1.2 addresses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.base import Edge, Topology
+from .flow import Commodity, FlowSolution, repair_conservation
+from .solver import LPBuilder
+
+__all__ = ["solve_link_mcf", "terminal_commodities"]
+
+_FLOW_TOL = 1e-9
+
+
+def terminal_commodities(topology: Topology,
+                         terminals: Optional[Sequence[int]] = None) -> List[Commodity]:
+    """Ordered (source, destination) pairs restricted to a terminal set.
+
+    ``terminals`` defaults to all nodes (the plain all-to-all commodity set).
+    On host-NIC augmented topologies (§3.2.2) only the host vertices exchange
+    data, so the commodity set is restricted to them while NIC vertices act as
+    pure relays.
+    """
+    if terminals is None:
+        return list(topology.commodities())
+    terminals = sorted(set(int(t) for t in terminals))
+    for t in terminals:
+        if not (0 <= t < topology.num_nodes):
+            raise ValueError(f"terminal {t} outside node range")
+    if len(terminals) < 2:
+        raise ValueError("need at least two terminals")
+    return [(s, d) for s in terminals for d in terminals if s != d]
+
+
+def solve_link_mcf(topology: Topology, repair: bool = True,
+                   demand: Optional[Dict[Commodity, float]] = None,
+                   terminals: Optional[Sequence[int]] = None) -> FlowSolution:
+    """Solve the link-based max-concurrent MCF for all-to-all traffic.
+
+    Parameters
+    ----------
+    topology:
+        Direct-connect topology with link capacities.
+    repair:
+        If True (default), post-process the returned flows so that every
+        commodity satisfies exact conservation and delivers exactly ``F``.
+    demand:
+        Optional per-commodity relative demand (defaults to 1 for every
+        ordered pair, i.e. the all-to-all personalized exchange).  A commodity
+        with demand ``w`` must receive ``w * F`` flow at its destination.
+    terminals:
+        Optional subset of nodes that exchange data (all-to-all among the
+        terminals); other nodes only relay.  Used for host-NIC augmented
+        topologies where only host vertices are endpoints.
+
+    Returns
+    -------
+    FlowSolution
+        The concurrent flow value ``F`` and per-commodity link flows.
+    """
+    if not topology.is_strongly_connected():
+        raise ValueError("MCF requires a strongly connected topology")
+
+    start = time.perf_counter()
+    commodities = terminal_commodities(topology, terminals)
+    edges = topology.edges
+    caps = topology.capacities()
+    if demand is None:
+        demand = {c: 1.0 for c in commodities}
+
+    lp = LPBuilder()
+    f_key = lambda c, e: ("f", c, e)
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    for c in commodities:
+        for e in edges:
+            lp.add_variable(f_key(c, e), lb=0.0)
+
+    # (2) capacity per link.
+    for e in edges:
+        lp.add_le([(f_key(c, e), 1.0) for c in commodities], caps[e])
+
+    # (3) conservation (inequality form) at intermediate nodes,
+    # (4) demand at the sink.  The sink never re-emits its own commodity,
+    # otherwise circulation through the sink could satisfy (4) without
+    # delivering anything (the gross-inflow exploit the paper's
+    # post-processing step also guards against).
+    out_edges = {u: topology.out_edges(u) for u in topology.nodes}
+    in_edges = {u: topology.in_edges(u) for u in topology.nodes}
+    for s, d in commodities:
+        for u in topology.nodes:
+            if u == s or u == d:
+                continue
+            terms = [(f_key((s, d), e), 1.0) for e in out_edges[u]]
+            terms += [(f_key((s, d), e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+        sink_terms = [(f_key((s, d), e), -1.0) for e in in_edges[d]]
+        sink_terms.append(("F", demand[(s, d)]))
+        lp.add_le(sink_terms, 0.0)
+        for e in out_edges[d]:
+            lp.add_le([(f_key((s, d), e), 1.0)], 0.0)
+
+    solution = lp.solve(maximize=True)
+    elapsed = time.perf_counter() - start
+
+    flows: Dict[Commodity, Dict[Edge, float]] = {}
+    for c in commodities:
+        per_edge = {}
+        for e in edges:
+            val = solution.value(f_key(c, e))
+            if val > _FLOW_TOL:
+                per_edge[e] = val
+        flows[c] = per_edge
+
+    result = FlowSolution(
+        concurrent_flow=float(solution.value("F")),
+        flows=flows,
+        topology=topology,
+        solve_seconds=elapsed,
+        meta={"method": "mcf-link", "num_variables": lp.num_variables,
+              "num_constraints": lp.num_constraints},
+    )
+    if repair:
+        result = repair_conservation(result)
+        result.solve_seconds = elapsed
+    return result

@@ -1,0 +1,214 @@
+"""Path-variable based MCF (pMCF) for fabrics with NIC forwarding (§3.1.4).
+
+Given a candidate path set ``P[(s, d)]`` per commodity, pMCF maximizes the
+concurrent flow ``F`` with one variable per (commodity, path) pair
+(eqs. 21-24).  Flow conservation is automatic because flow moves along simple
+end-to-end paths.  With an unrestricted path set this is the LP dual of the
+link formulation and yields the same optimum; in practice the path set is
+restricted (link-disjoint paths, shortest paths, or length-bounded paths) to
+keep the variable count polynomial, which is exactly the trade-off the paper
+evaluates in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..topology.base import Edge, Topology
+from .flow import Commodity, FlowSolution, WeightedPath
+
+__all__ = ["PathSchedule", "solve_path_mcf", "path_schedule_from_single_paths"]
+
+_FLOW_TOL = 1e-9
+
+
+@dataclass
+class PathSchedule:
+    """Weighted multi-path routes for every commodity.
+
+    ``paths[(s, d)]`` is a list of :class:`WeightedPath`; the weights are the
+    fraction of the (s, d) shard to be sent along each path per unit of
+    concurrent demand.  This is the object lowered to source-routed fabrics.
+    """
+
+    concurrent_flow: float
+    paths: Dict[Commodity, List[WeightedPath]]
+    topology: Topology
+    solve_seconds: float = 0.0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def link_loads(self) -> Dict[Edge, float]:
+        """Aggregate flow on each link implied by the weighted paths."""
+        loads: Dict[Edge, float] = {e: 0.0 for e in self.topology.edges}
+        for plist in self.paths.values():
+            for p in plist:
+                for e in p.edges:
+                    loads[e] = loads.get(e, 0.0) + p.weight
+        return loads
+
+    def max_link_utilization(self) -> float:
+        """Maximum link load divided by capacity."""
+        caps = self.topology.capacities()
+        worst = 0.0
+        for e, load in self.link_loads().items():
+            cap = caps.get(e)
+            if cap:
+                worst = max(worst, load / cap)
+        return worst
+
+    def all_to_all_time(self) -> float:
+        """Normalized all-to-all completion time.
+
+        Defined (as in Fig. 8/9) as the time to ship one unit of every
+        commodity along its weighted paths, which for fluid cut-through flows
+        equals the maximum link utilization after scaling every commodity to
+        unit demand.
+        """
+        delivered = self.min_delivered()
+        if delivered <= 0:
+            return float("inf")
+        return self.max_link_utilization() / delivered
+
+    def delivered(self, s: int, d: int) -> float:
+        """Total path weight delivered for commodity (s, d)."""
+        return sum(p.weight for p in self.paths.get((s, d), []))
+
+    def min_delivered(self) -> float:
+        """Minimum delivered weight across commodities (>= F for valid schedules)."""
+        return min(self.delivered(s, d) for s, d in self.topology.commodities())
+
+    def normalized(self) -> "PathSchedule":
+        """Rescale all path weights so every commodity delivers exactly 1 unit.
+
+        This is the form used for lowering: each shard is split across its
+        paths in proportion to the weights.
+        """
+        new_paths: Dict[Commodity, List[WeightedPath]] = {}
+        for c, plist in self.paths.items():
+            total = sum(p.weight for p in plist)
+            if total <= 0:
+                new_paths[c] = []
+                continue
+            new_paths[c] = [WeightedPath(p.nodes, p.weight / total) for p in plist]
+        return PathSchedule(concurrent_flow=self.concurrent_flow, paths=new_paths,
+                            topology=self.topology, solve_seconds=self.solve_seconds,
+                            meta={**self.meta, "normalized": True})
+
+    def to_flow_solution(self) -> FlowSolution:
+        """Convert to per-commodity link flows (for analysis and validation)."""
+        flows: Dict[Commodity, Dict[Edge, float]] = {}
+        for c, plist in self.paths.items():
+            per: Dict[Edge, float] = {}
+            for p in plist:
+                for e in p.edges:
+                    per[e] = per.get(e, 0.0) + p.weight
+            flows[c] = per
+        return FlowSolution(concurrent_flow=self.concurrent_flow, flows=flows,
+                            topology=self.topology, solve_seconds=self.solve_seconds,
+                            meta=dict(self.meta))
+
+
+def solve_path_mcf(topology: Topology,
+                   path_sets: Mapping[Commodity, Sequence[Sequence[int]]]) -> PathSchedule:
+    """Solve pMCF over the given candidate path sets (eqs. 21-24).
+
+    Parameters
+    ----------
+    path_sets:
+        For every commodity ``(s, d)`` a non-empty sequence of candidate paths
+        (each a node sequence from ``s`` to ``d``).
+
+    Returns
+    -------
+    PathSchedule
+        Optimal concurrent flow ``F`` restricted to the candidate paths, and
+        the per-path weights.
+    """
+    from .solver import LPBuilder
+
+    start = time.perf_counter()
+    commodities = list(topology.commodities())
+    caps = topology.capacities()
+    for c in commodities:
+        if c not in path_sets or not path_sets[c]:
+            raise ValueError(f"no candidate paths supplied for commodity {c}")
+        for p in path_sets[c]:
+            if p[0] != c[0] or p[-1] != c[1]:
+                raise ValueError(f"path {p} does not connect commodity {c}")
+
+    lp = LPBuilder()
+    var = lambda c, i: ("p", c, i)
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    # Pre-index which (commodity, path index) traverse each edge.
+    edge_users: Dict[Edge, List[Tuple[Commodity, int]]] = {e: [] for e in topology.edges}
+    for c in commodities:
+        for i, p in enumerate(path_sets[c]):
+            lp.add_variable(var(c, i), lb=0.0)
+            for e in zip(p[:-1], p[1:]):
+                if e not in edge_users:
+                    raise ValueError(f"path {p} uses non-existent edge {e}")
+                edge_users[e].append((c, i))
+
+    # (22) link capacity.
+    for e, users in edge_users.items():
+        if users:
+            lp.add_le([(var(c, i), 1.0) for c, i in users], caps[e])
+    # (23) concurrent demand.
+    for c in commodities:
+        terms = [(var(c, i), -1.0) for i in range(len(path_sets[c]))]
+        terms.append(("F", 1.0))
+        lp.add_le(terms, 0.0)
+
+    solution = lp.solve(maximize=True)
+    elapsed = time.perf_counter() - start
+
+    paths: Dict[Commodity, List[WeightedPath]] = {}
+    for c in commodities:
+        plist = []
+        for i, p in enumerate(path_sets[c]):
+            w = solution.value(var(c, i))
+            if w > _FLOW_TOL:
+                plist.append(WeightedPath(nodes=tuple(p), weight=w))
+        # Keep at least the best candidate even if the LP left the commodity
+        # exactly at zero weight (degenerate F=0 cases cannot happen on
+        # strongly connected graphs, but guard anyway).
+        if not plist:
+            plist = [WeightedPath(nodes=tuple(path_sets[c][0]), weight=0.0)]
+        paths[c] = plist
+
+    return PathSchedule(
+        concurrent_flow=float(solution.value("F")),
+        paths=paths,
+        topology=topology,
+        solve_seconds=elapsed,
+        meta={"method": "pmcf", "num_variables": lp.num_variables,
+              "num_constraints": lp.num_constraints},
+    )
+
+
+def path_schedule_from_single_paths(topology: Topology,
+                                    single_paths: Mapping[Commodity, Sequence[int]],
+                                    method: str = "single-path") -> PathSchedule:
+    """Wrap one path per commodity (SSSP/DOR/ILP/native baselines) as a PathSchedule.
+
+    The concurrent flow value is derived from the induced maximum link load:
+    with unit demand per commodity and max load L, all commodities can flow
+    concurrently at rate ``1/L``.
+    """
+    paths: Dict[Commodity, List[WeightedPath]] = {}
+    loads: Dict[Edge, float] = {e: 0.0 for e in topology.edges}
+    caps = topology.capacities()
+    for c in topology.commodities():
+        p = single_paths.get(c)
+        if p is None:
+            raise ValueError(f"missing path for commodity {c}")
+        wp = WeightedPath(nodes=tuple(p), weight=1.0)
+        paths[c] = [wp]
+        for e in wp.edges:
+            loads[e] = loads.get(e, 0.0) + 1.0
+    max_util = max((loads[e] / caps[e]) for e in loads if caps.get(e, 0.0) > 0)
+    flow = 0.0 if max_util == 0 else 1.0 / max_util
+    return PathSchedule(concurrent_flow=flow, paths=paths, topology=topology,
+                        meta={"method": method})

@@ -1,0 +1,213 @@
+"""Decomposed time-stepped MCF (§3.1.3, final remark).
+
+The paper notes that the time-stepped LP of §3.1.3 "can be decomposed into a
+source-based LP + child LPs as described in §3.1.2".  This module implements
+that decomposition, which matters because the monolithic tsMCF has
+``O(N^2 * E * l_max)`` variables and becomes the bottleneck well before the
+steady-state decomposed MCF does.
+
+Master LP (source-grouped, time-stepped):
+    variables ``g[s, (u, v), t]`` (total flow of source ``s``'s shards on link
+    (u, v) at step t) and per-step utilizations ``U_t``;
+    minimize ``sum_t U_t`` subject to
+
+    * per-link, per-step utilization:  ``sum_s g[s, e, t] <= cap(e) * U_t``;
+    * store-and-forward causality at every node ``u != s``: the amount of
+      group-s data forwarded by ``u`` up to step t cannot exceed the amount
+      received before step t;
+    * every destination ``u != s`` nets exactly one shard of group s by the
+      end (received minus re-forwarded equals 1), and the source injects
+      exactly ``N - 1`` shards and never re-absorbs its own group.
+
+Child LPs (one per source): split the grouped flow into per-destination
+shard flows on the time-expanded graph, with the master's ``g[s, e, t]``
+acting as per-link, per-step capacities -- the same structure as the
+steady-state child LP of §3.1.2, plus the causality constraints.
+
+The decomposition preserves the optimal ``sum_t U_t`` (the grouped flow is an
+aggregation of any per-commodity solution, and any grouped solution splits by
+per-source flow decomposition on the time-expanded DAG).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.base import Edge, Topology
+from .flow import Commodity
+from .mcf_link import terminal_commodities
+from .mcf_timestepped import TimeSteppedFlow
+from .solver import LPBuilder
+
+__all__ = ["solve_timestepped_mcf_decomposed"]
+
+_FLOW_TOL = 1e-9
+
+
+def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
+                     terminal_set: set) -> Tuple[float, Dict[int, Dict[Tuple[int, int, int], float]], List[float], float]:
+    """Source-grouped time-stepped master LP.
+
+    Returns (total utilization, grouped flows per source, per-step utilizations,
+    solve seconds).
+    """
+    start = time.perf_counter()
+    edges = topology.edges
+    caps = topology.capacities()
+    nodes = topology.nodes
+    out_edges = {u: topology.out_edges(u) for u in nodes}
+    in_edges = {u: topology.in_edges(u) for u in nodes}
+
+    lp = LPBuilder()
+    g_key = lambda s, e, t: ("g", s, e, t)
+    u_key = lambda t: ("U", t)
+    for t in steps:
+        lp.add_variable(u_key(t), lb=0.0, objective=1.0)
+    for s in sources:
+        for e in edges:
+            for t in steps:
+                lp.add_variable(g_key(s, e, t), lb=0.0)
+
+    # Per-step utilization bound.
+    for e in edges:
+        for t in steps:
+            terms = [(g_key(s, e, t), 1.0) for s in sources]
+            terms.append((u_key(t), -caps[e]))
+            lp.add_le(terms, 0.0)
+
+    for s in sources:
+        group_sinks = [u for u in nodes if u != s and u in terminal_set]
+        for u in nodes:
+            if u == s:
+                continue
+            # Causality: cumulative forwarded <= cumulative received (strictly
+            # earlier steps).  Data kept for sinking simply stays in the buffer.
+            for t in steps:
+                terms = [(g_key(s, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
+                terms += [(g_key(s, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
+                lp.add_le(terms, 0.0)
+            # Net retention at the end: 1 shard for terminals, 0 for relays.
+            retained = 1.0 if u in terminal_set else 0.0
+            eq_terms = [(g_key(s, e, t), 1.0) for e in in_edges[u] for t in steps]
+            eq_terms += [(g_key(s, e, t), -1.0) for e in out_edges[u] for t in steps]
+            lp.add_eq(eq_terms, retained)
+        # Source injects exactly one shard per destination and never re-absorbs.
+        lp.add_eq([(g_key(s, e, t), 1.0) for e in out_edges[s] for t in steps],
+                  float(len(group_sinks)))
+        for e in in_edges[s]:
+            for t in steps:
+                lp.add_le([(g_key(s, e, t), 1.0)], 0.0)
+
+    solution = lp.solve(maximize=False)
+    elapsed = time.perf_counter() - start
+    grouped: Dict[int, Dict[Tuple[int, int, int], float]] = {}
+    for s in sources:
+        per: Dict[Tuple[int, int, int], float] = {}
+        for e in edges:
+            for t in steps:
+                val = solution.value(g_key(s, e, t))
+                if val > _FLOW_TOL:
+                    per[(e[0], e[1], t)] = val
+        grouped[s] = per
+    utilizations = [max(solution.value(u_key(t)), 0.0) for t in steps]
+    return float(sum(utilizations)), grouped, utilizations, elapsed
+
+
+def _solve_ts_child(topology: Topology, source: int, destinations: List[int],
+                    grouped: Dict[Tuple[int, int, int], float],
+                    steps: List[int]) -> Tuple[Dict[Commodity, Dict[Tuple[int, int, int], float]], float]:
+    """Split one source's grouped time-stepped flow into per-destination flows."""
+    start = time.perf_counter()
+    nodes = topology.nodes
+    used = sorted(grouped.keys())            # (u, v, t) triples with positive flow
+    out_used = {u: [k for k in used if k[0] == u] for u in nodes}
+    in_used = {u: [k for k in used if k[1] == u] for u in nodes}
+
+    lp = LPBuilder()
+    f_key = lambda d, k: ("f", d, k)
+    for d in destinations:
+        for k in used:
+            lp.add_variable(f_key(d, k), lb=0.0, objective=1.0)
+
+    # Grouped flow acts as per-(link, step) capacity.
+    for k in used:
+        lp.add_le([(f_key(d, k), 1.0) for d in destinations], grouped[k])
+
+    for d in destinations:
+        for u in nodes:
+            if u == source or u == d:
+                continue
+            # Causality per destination.
+            for t in steps:
+                terms = [(f_key(d, k), 1.0) for k in out_used[u] if k[2] <= t]
+                terms += [(f_key(d, k), -1.0) for k in in_used[u] if k[2] < t]
+                lp.add_le(terms, 0.0)
+            # Relays retain nothing of this shard.
+            eq = [(f_key(d, k), 1.0) for k in out_used[u]]
+            eq += [(f_key(d, k), -1.0) for k in in_used[u]]
+            lp.add_eq(eq, 0.0)
+        # The destination receives exactly one shard and never re-emits it.
+        lp.add_ge([(f_key(d, k), 1.0) for k in in_used[d]], 1.0 - 1e-7)
+        for k in out_used[d]:
+            lp.add_le([(f_key(d, k), 1.0)], 0.0)
+
+    solution = lp.solve(maximize=False)
+    elapsed = time.perf_counter() - start
+    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
+    for d in destinations:
+        per: Dict[Tuple[int, int, int], float] = {}
+        for k in used:
+            val = solution.value(f_key(d, k))
+            if val > _FLOW_TOL:
+                per[k] = val
+        flows[(source, d)] = per
+    return flows, elapsed
+
+
+def solve_timestepped_mcf_decomposed(topology: Topology, num_steps: Optional[int] = None,
+                                     extra_steps: int = 1,
+                                     terminals: Optional[List[int]] = None) -> TimeSteppedFlow:
+    """Decomposed tsMCF: source-grouped master LP + per-source child LPs.
+
+    Same interface and semantics as
+    :func:`repro.core.mcf_timestepped.solve_timestepped_mcf`; the meta dict
+    records the master/child timing breakdown (keys ``master_seconds`` and
+    ``child_seconds_each``).
+    """
+    if not topology.is_strongly_connected():
+        raise ValueError("tsMCF requires a strongly connected topology")
+    diam = topology.diameter()
+    if num_steps is None:
+        num_steps = diam + extra_steps
+    if num_steps < diam:
+        raise ValueError(f"num_steps={num_steps} below topology diameter {diam}")
+    steps = list(range(1, num_steps + 1))
+
+    commodities = terminal_commodities(topology, terminals)
+    sources = sorted({s for s, _ in commodities})
+    terminal_set = {s for s, _ in commodities} | {d for _, d in commodities}
+
+    total_start = time.perf_counter()
+    total_util, grouped, utilizations, master_seconds = _solve_ts_master(
+        topology, steps, sources, terminal_set)
+
+    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
+    child_seconds: List[float] = []
+    for s in sources:
+        destinations = sorted({d for src, d in commodities if src == s})
+        child_flows, elapsed = _solve_ts_child(topology, s, destinations, grouped[s], steps)
+        flows.update(child_flows)
+        child_seconds.append(elapsed)
+
+    return TimeSteppedFlow(
+        num_steps=num_steps,
+        flows=flows,
+        step_utilizations=utilizations,
+        topology=topology,
+        solve_seconds=time.perf_counter() - total_start,
+        meta={"method": "tsmcf-decomposed", "diameter": diam,
+              "master_seconds": master_seconds,
+              "child_seconds_each": child_seconds,
+              "terminals": None if terminals is None else sorted(set(terminals))},
+    )

@@ -1,0 +1,218 @@
+"""Sparse LP construction helpers and the HiGHS solver wrapper.
+
+All MCF variants in :mod:`repro.core` are assembled as sparse constraint
+matrices and solved by the HiGHS solver exposed through
+:func:`scipy.optimize.linprog`.  The paper uses MOSEK; the LP optima are solver
+independent, so HiGHS preserves every result that depends on optimal values
+(only absolute solve times differ, and Fig. 7 is about *scaling*, which is
+preserved).
+
+The :class:`LPBuilder` accumulates constraints row by row in COO form, which
+keeps construction vectorizable and avoids densifying what are extremely
+sparse matrices (a link-based MCF on N nodes and E edges has ~N^2*E variables
+but only a handful of nonzeros per row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+__all__ = ["VariableIndex", "LPBuilder", "LPSolution", "SolverError"]
+
+
+class SolverError(RuntimeError):
+    """Raised when the LP solver fails to find an optimal solution."""
+
+
+class VariableIndex:
+    """Bidirectional mapping between hashable variable keys and column indices."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+
+    def add(self, key: Hashable) -> int:
+        """Register ``key`` (idempotent) and return its column index."""
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._keys)
+            self._index[key] = idx
+            self._keys.append(key)
+        return idx
+
+    def __getitem__(self, key: Hashable) -> int:
+        return self._index[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> List[Hashable]:
+        """All registered keys in column order."""
+        return list(self._keys)
+
+    def get(self, key: Hashable, default: Optional[int] = None) -> Optional[int]:
+        return self._index.get(key, default)
+
+
+@dataclass
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes
+    ----------
+    objective:
+        Optimal objective value in the *builder's* sense (i.e. negated back if
+        the builder was maximizing).
+    values:
+        Mapping from variable key to optimal value.
+    raw:
+        The raw :class:`scipy.optimize.OptimizeResult`.
+    """
+
+    objective: float
+    values: Dict[Hashable, float]
+    raw: object = None
+
+    def value(self, key: Hashable, default: float = 0.0) -> float:
+        """Optimal value of a variable (0.0 for unregistered keys)."""
+        return self.values.get(key, default)
+
+
+class LPBuilder:
+    """Incremental sparse LP builder.
+
+    Variables are referenced by arbitrary hashable keys.  Constraints are
+    expressed as ``sum(coeff * var) <= rhs`` (:meth:`add_le`) or ``== rhs``
+    (:meth:`add_eq`).  The objective is a linear form; set ``maximize=True`` on
+    :meth:`solve` to maximize it.
+    """
+
+    def __init__(self) -> None:
+        self.variables = VariableIndex()
+        self._objective: Dict[int, float] = {}
+        self._lb: Dict[int, float] = {}
+        self._ub: Dict[int, float] = {}
+        # COO triplets for inequality / equality constraints.
+        self._ub_rows: List[int] = []
+        self._ub_cols: List[int] = []
+        self._ub_vals: List[float] = []
+        self._ub_rhs: List[float] = []
+        self._eq_rows: List[int] = []
+        self._eq_cols: List[int] = []
+        self._eq_vals: List[float] = []
+        self._eq_rhs: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def add_variable(self, key: Hashable, lb: float = 0.0, ub: Optional[float] = None,
+                     objective: float = 0.0) -> int:
+        """Register a variable with bounds and an objective coefficient."""
+        idx = self.variables.add(key)
+        if objective:
+            self._objective[idx] = self._objective.get(idx, 0.0) + objective
+        self._lb[idx] = lb
+        self._ub[idx] = np.inf if ub is None else ub
+        return idx
+
+    def set_objective(self, key: Hashable, coeff: float) -> None:
+        """Set (overwrite) the objective coefficient of an existing variable."""
+        idx = self.variables[key]
+        self._objective[idx] = coeff
+
+    def add_le(self, terms: Iterable[Tuple[Hashable, float]], rhs: float) -> None:
+        """Add constraint ``sum(coeff * var) <= rhs``."""
+        row = len(self._ub_rhs)
+        wrote = False
+        for key, coeff in terms:
+            if coeff == 0.0:
+                continue
+            self._ub_rows.append(row)
+            self._ub_cols.append(self.variables[key])
+            self._ub_vals.append(float(coeff))
+            wrote = True
+        if not wrote:
+            # A vacuous constraint 0 <= rhs; keep rhs row only if violated.
+            if rhs < 0:
+                raise ValueError("infeasible empty constraint 0 <= negative rhs")
+            return
+        self._ub_rhs.append(float(rhs))
+
+    def add_ge(self, terms: Iterable[Tuple[Hashable, float]], rhs: float) -> None:
+        """Add constraint ``sum(coeff * var) >= rhs`` (stored as <=)."""
+        self.add_le([(k, -c) for k, c in terms], -rhs)
+
+    def add_eq(self, terms: Iterable[Tuple[Hashable, float]], rhs: float) -> None:
+        """Add constraint ``sum(coeff * var) == rhs``."""
+        row = len(self._eq_rhs)
+        wrote = False
+        for key, coeff in terms:
+            if coeff == 0.0:
+                continue
+            self._eq_rows.append(row)
+            self._eq_cols.append(self.variables[key])
+            self._eq_vals.append(float(coeff))
+            wrote = True
+        if not wrote:
+            if abs(rhs) > 1e-12:
+                raise ValueError("infeasible empty equality constraint")
+            return
+        self._eq_rhs.append(float(rhs))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._ub_rhs) + len(self._eq_rhs)
+
+    def solve(self, maximize: bool = False, method: str = "highs") -> LPSolution:
+        """Solve the accumulated LP and return an :class:`LPSolution`.
+
+        Raises
+        ------
+        SolverError
+            If the solver reports anything other than success.
+        """
+        n = self.num_variables
+        if n == 0:
+            return LPSolution(objective=0.0, values={}, raw=None)
+        c = np.zeros(n)
+        for idx, coeff in self._objective.items():
+            c[idx] = coeff
+        if maximize:
+            c = -c
+
+        a_ub = b_ub = a_eq = b_eq = None
+        if self._ub_rhs:
+            a_ub = sp.coo_matrix(
+                (self._ub_vals, (self._ub_rows, self._ub_cols)),
+                shape=(len(self._ub_rhs), n),
+            ).tocsr()
+            b_ub = np.asarray(self._ub_rhs)
+        if self._eq_rhs:
+            a_eq = sp.coo_matrix(
+                (self._eq_vals, (self._eq_rows, self._eq_cols)),
+                shape=(len(self._eq_rhs), n),
+            ).tocsr()
+            b_eq = np.asarray(self._eq_rhs)
+
+        bounds = [(self._lb.get(i, 0.0), None if np.isinf(self._ub.get(i, np.inf))
+                   else self._ub.get(i)) for i in range(n)]
+        result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                         bounds=bounds, method=method)
+        if not result.success:
+            raise SolverError(f"LP solve failed: {result.message}")
+        objective = float(result.fun)
+        if maximize:
+            objective = -objective
+        values = {key: float(result.x[self.variables[key]]) for key in self.variables.keys()}
+        return LPSolution(objective=objective, values=values, raw=result)

@@ -1,0 +1,70 @@
+"""Widest-path (maximum-bottleneck) computations.
+
+A widest path maximizes the minimum residual capacity along the path.  It is
+the inner primitive of the MCF-extP extraction loop (§3.2.1) -- exposed here as
+a standalone utility (on an arbitrary capacity map) so it can be tested and
+reused independently of :mod:`repro.core.flow`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..topology.base import Edge, Topology
+
+__all__ = ["widest_path", "widest_path_in_topology", "path_bottleneck"]
+
+
+def widest_path(capacities: Mapping[Edge, float], source: int, destination: int,
+                tol: float = 1e-12) -> Optional[Tuple[List[int], float]]:
+    """Maximum-bottleneck path on an explicit edge-capacity map.
+
+    Returns ``(path, bottleneck)`` or ``None`` when no positive-capacity path
+    exists.  Runs the classic Dijkstra variant where the label of a node is the
+    best bottleneck found so far (maximized instead of minimized).
+    """
+    adj: Dict[int, List[Tuple[int, float]]] = {}
+    for (u, v), c in capacities.items():
+        if c > tol:
+            adj.setdefault(u, []).append((v, c))
+    best: Dict[int, float] = {source: float("inf")}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(-float("inf"), source)]
+    done = set()
+    while heap:
+        neg_width, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u == destination:
+            break
+        for v, c in adj.get(u, []):
+            width = min(-neg_width, c)
+            if width > best.get(v, 0.0) + tol:
+                best[v] = width
+                parent[v] = u
+                heapq.heappush(heap, (-width, v))
+    if destination not in best:
+        return None
+    path = [destination]
+    while path[-1] != source:
+        nxt = parent.get(path[-1])
+        if nxt is None:
+            return None
+        path.append(nxt)
+    path.reverse()
+    return path, best[destination]
+
+
+def widest_path_in_topology(topology: Topology, source: int,
+                            destination: int) -> Optional[Tuple[List[int], float]]:
+    """Widest path using the topology's link capacities."""
+    return widest_path(topology.capacities(), source, destination)
+
+
+def path_bottleneck(capacities: Mapping[Edge, float], path: List[int]) -> float:
+    """Bottleneck (minimum capacity) along an explicit path."""
+    if len(path) < 2:
+        return float("inf")
+    return min(capacities[(u, v)] for u, v in zip(path[:-1], path[1:]))

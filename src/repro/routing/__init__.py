@@ -1,0 +1,22 @@
+"""Deadlock-free virtual-channel (layer) assignment for routed schedules."""
+
+from .deadlock import (
+    channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+    route_edges,
+)
+from .dfsssp import dfsssp_assign
+from .lash import LayerAssignment, lash_assign, lash_sequential_assign, verify_layers
+
+__all__ = [
+    "channel_dependency_graph",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "route_edges",
+    "dfsssp_assign",
+    "LayerAssignment",
+    "lash_assign",
+    "lash_sequential_assign",
+    "verify_layers",
+]

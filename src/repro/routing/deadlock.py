@@ -1,0 +1,60 @@
+"""Channel dependency graphs and deadlock detection (§5.5).
+
+On wormhole/cut-through fabrics (e.g. the Cerio NICs), a set of routes is
+deadlock-free iff the *channel dependency graph* (CDG) is acyclic: the CDG has
+one vertex per directed link (channel) and an arc from channel ``(a, b)`` to
+channel ``(b, c)`` whenever some route uses link ``(a, b)`` immediately
+followed by ``(b, c)``.  A cycle means packets can mutually block while
+holding channels.  Virtual channels (layers) break cycles by giving each layer
+its own copy of every physical channel: routes in different layers cannot
+block each other, so it suffices for each layer's CDG to be acyclic -- that is
+what the LASH-style assignment in :mod:`repro.routing.lash` ensures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..topology.base import Edge
+
+__all__ = ["channel_dependency_graph", "is_deadlock_free", "find_dependency_cycle",
+           "route_edges"]
+
+
+def route_edges(route: Sequence[int]) -> List[Edge]:
+    """The directed links traversed by a route (node sequence)."""
+    return list(zip(route[:-1], route[1:]))
+
+
+def channel_dependency_graph(routes: Iterable[Sequence[int]]) -> nx.DiGraph:
+    """Build the CDG of a set of routes.
+
+    Nodes are directed links; an arc (e1 -> e2) is added for every consecutive
+    link pair on any route.
+    """
+    cdg = nx.DiGraph()
+    for route in routes:
+        edges = route_edges(route)
+        for e in edges:
+            cdg.add_node(e)
+        for e1, e2 in zip(edges[:-1], edges[1:]):
+            cdg.add_edge(e1, e2)
+    return cdg
+
+
+def is_deadlock_free(routes: Iterable[Sequence[int]]) -> bool:
+    """True iff the channel dependency graph of the routes is acyclic."""
+    cdg = channel_dependency_graph(routes)
+    return nx.is_directed_acyclic_graph(cdg)
+
+
+def find_dependency_cycle(routes: Iterable[Sequence[int]]) -> List[Edge]:
+    """Return one CDG cycle (list of channels) or an empty list if none exists."""
+    cdg = channel_dependency_graph(routes)
+    try:
+        cycle = nx.find_cycle(cdg)
+    except nx.NetworkXNoCycle:
+        return []
+    return [edge_pair[0] for edge_pair in cycle]

@@ -1,0 +1,220 @@
+"""Chunking: turning fractional MCF rates into concrete chunk schedules (§4).
+
+The MCF solutions give fractional rates per commodity per link (and per time
+step for tsMCF) or fractional weights per path (pMCF / MCF-extP).  Lowering to
+a runtime needs concrete chunks:
+
+* for **link-based** schedules the compiler walks the time-stepped flows and
+  assigns, per (commodity, step, link), a chunk covering the corresponding
+  fraction of the shard -- chunk boundaries are tracked per commodity so the
+  same bytes are never sent twice and forwarding at intermediate nodes only
+  re-sends bytes already received;
+* for **path-based** schedules the shard is divided into equal-sized chunks
+  whose size is (approximately) the highest common factor of the path weights,
+  and the right number of chunks is assigned to each route (the paper's
+  approach on the Cerio fabric).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.flow import Commodity, WeightedPath
+from ..core.mcf_path import PathSchedule
+from ..core.mcf_timestepped import TimeSteppedFlow
+from ..topology.base import Topology
+from .ir import Chunk, LinkSchedule, LinkSendOp, RouteAssignment, RoutedSchedule
+
+__all__ = [
+    "quantize_weights",
+    "chunk_path_schedule",
+    "chunk_timestepped_flow",
+]
+
+
+def quantize_weights(weights: Sequence[float], max_denominator: int = 64,
+                     tol: float = 1e-6) -> Tuple[List[int], int]:
+    """Approximate positive weights by integer chunk counts over a common denominator.
+
+    Returns ``(counts, denominator)`` such that ``counts[i] / denominator``
+    approximates ``weights[i] / sum(weights)`` and every positive weight gets
+    at least one chunk.  This mirrors the paper's "highest common factor"
+    rule: the base chunk size is ``1/denominator`` of the shard.
+    """
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    fracs = [Fraction(w / total).limit_denominator(max_denominator) for w in weights]
+    # Ensure every positive weight is represented.
+    for i, (w, f) in enumerate(zip(weights, fracs)):
+        if w > tol and f == 0:
+            fracs[i] = Fraction(1, max_denominator)
+    denom = 1
+    for f in fracs:
+        denom = denom * f.denominator // gcd(denom, f.denominator)
+    if denom > max(max_denominator * max(len(weights), 4), max_denominator ** 2):
+        # Pathological weight ratios can make the least common denominator (and
+        # hence the chunk count) explode; fall back to largest-remainder
+        # apportionment over a fixed grid instead.
+        return _largest_remainder_counts(weights, max_denominator * len(weights))
+    counts = [int(f * denom) for f in fracs]
+    # Normalize so counts sum exactly to denom.  Rounding drift is absorbed by
+    # the largest weights first (least relative distortion), never driving a
+    # positive weight's count below one chunk.
+    drift = denom - sum(counts)
+    for idx in sorted(range(len(weights)), key=lambda i: -weights[i]):
+        if drift == 0:
+            break
+        if drift > 0:
+            counts[idx] += drift
+            drift = 0
+        else:
+            take = min(-drift, counts[idx] - 1)
+            counts[idx] -= take
+            drift += take
+    if drift != 0:
+        raise ValueError("quantization failed: cannot absorb rounding drift")
+    return counts, denom
+
+
+def _largest_remainder_counts(weights: Sequence[float], denom: int) -> Tuple[List[int], int]:
+    """Hamilton (largest remainder) apportionment of ``denom`` chunks to weights."""
+    total = float(sum(weights))
+    shares = [w / total * denom for w in weights]
+    counts = [max(1, int(s)) for s in shares]
+    drift = denom - sum(counts)
+    remainders = sorted(range(len(weights)), key=lambda i: -(shares[i] - int(shares[i])))
+    i = 0
+    while drift > 0:
+        counts[remainders[i % len(weights)]] += 1
+        drift -= 1
+        i += 1
+    order = sorted(range(len(weights)), key=lambda i: -weights[i])
+    for idx in order:
+        if drift >= 0:
+            break
+        take = min(-drift, counts[idx] - 1)
+        counts[idx] -= take
+        drift += take
+    if drift != 0:
+        raise ValueError("quantization failed: cannot apportion chunks")
+    return counts, denom
+
+
+def chunk_path_schedule(schedule: PathSchedule, max_denominator: int = 64,
+                        layers: Optional[Dict[Tuple[int, ...], int]] = None) -> RoutedSchedule:
+    """Lower a weighted-path schedule to explicit chunk-to-route assignments.
+
+    Each commodity's shard is split into ``denominator`` equal chunks; each
+    route receives a number of chunks proportional to its weight.
+
+    Parameters
+    ----------
+    layers:
+        Optional mapping route -> virtual-channel layer (from
+        :mod:`repro.routing.lash`); defaults to layer 0 for every route.
+    """
+    normalized = schedule.normalized()
+    assignments: List[RouteAssignment] = []
+    for (s, d), paths in normalized.paths.items():
+        if not paths:
+            raise ValueError(f"commodity {(s, d)} has no routes")
+        weights = [p.weight for p in paths]
+        counts, denom = quantize_weights(weights, max_denominator=max_denominator)
+        chunk_fraction = Fraction(1, denom)
+        next_chunk = 0
+        for path, count in zip(paths, counts):
+            for _ in range(count):
+                lo = float(next_chunk * chunk_fraction)
+                hi = float((next_chunk + 1) * chunk_fraction)
+                chunk = Chunk(source=s, destination=d, lo=lo, hi=min(hi, 1.0))
+                layer = 0 if layers is None else layers.get(tuple(path.nodes), 0)
+                assignments.append(RouteAssignment(chunk=chunk, route=tuple(path.nodes),
+                                                   layer=layer))
+                next_chunk += 1
+        if next_chunk != denom:
+            raise AssertionError("chunk accounting error in path chunking")
+    routed = RoutedSchedule(topology=schedule.topology, assignments=assignments,
+                            meta={**schedule.meta, "max_denominator": max_denominator})
+    routed.validate_links()
+    return routed
+
+
+def chunk_timestepped_flow(flow: TimeSteppedFlow, tol: float = 1e-9) -> LinkSchedule:
+    """Lower a tsMCF solution to a time-stepped link schedule.
+
+    For every commodity the algorithm tracks, per node, which fraction
+    intervals of the shard the node holds after each step (the source starts
+    holding ``[0, 1)``).  At each step, the fractional flow on each outgoing
+    link is served from the oldest-held intervals, producing concrete chunk
+    sends that respect store-and-forward causality by construction.
+    """
+    topo = flow.topology
+    ops: List[LinkSendOp] = []
+
+    for (s, d), per in flow.flows.items():
+        # intervals held at each node (list of [lo, hi) tuples); data is
+        # *moved* (not copied) since all-to-all forwards, never multicasts.
+        holdings: Dict[int, List[Tuple[float, float]]] = {u: [] for u in topo.nodes}
+        holdings[s] = [(0.0, 1.0)]
+        # group flow by step
+        by_step: Dict[int, List[Tuple[int, int, float]]] = {}
+        for (u, v, t), val in per.items():
+            if val > tol:
+                by_step.setdefault(t, []).append((u, v, val))
+        for t in range(1, flow.num_steps + 1):
+            sends = sorted(by_step.get(t, []))
+            # Serve each send from the sender's current holdings.
+            staged: Dict[int, List[Tuple[float, float]]] = {}
+            for u, v, amount in sends:
+                remaining = amount
+                new_hold: List[Tuple[float, float]] = []
+                taken: List[Tuple[float, float]] = []
+                for lo, hi in holdings[u]:
+                    if remaining <= tol:
+                        new_hold.append((lo, hi))
+                        continue
+                    size = hi - lo
+                    if size <= remaining + tol:
+                        taken.append((lo, hi))
+                        remaining -= size
+                    else:
+                        taken.append((lo, lo + remaining))
+                        new_hold.append((lo + remaining, hi))
+                        remaining = 0.0
+                if remaining > 1e-6:
+                    raise ValueError(
+                        f"tsMCF flow for commodity {(s, d)} sends {amount} over ({u},{v}) "
+                        f"at step {t} but node {u} only holds {amount - remaining}")
+                holdings[u] = new_hold
+                for lo, hi in taken:
+                    if hi - lo > tol:
+                        ops.append(LinkSendOp(chunk=Chunk(s, d, lo, min(hi, 1.0)),
+                                              src=u, dst=v, step=t))
+                staged.setdefault(v, []).extend(taken)
+            # Receivers gain the data only after the step completes
+            # (store-and-forward), merging adjacent intervals for tidiness.
+            for v, intervals in staged.items():
+                holdings[v] = _merge_intervals(holdings[v] + intervals)
+    schedule = LinkSchedule(topology=topo, num_steps=flow.num_steps, operations=ops,
+                            meta={**flow.meta, "source": "tsmcf"})
+    schedule.validate_links()
+    return schedule
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]],
+                     tol: float = 1e-12) -> List[Tuple[float, float]]:
+    """Merge overlapping/adjacent fraction intervals."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        plo, phi = merged[-1]
+        if lo <= phi + tol:
+            merged[-1] = (plo, max(phi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,87 @@
+"""oneCCL-like XML emitter for link-based schedules on CPU runtimes (§4).
+
+The paper extends Intel oneCCL with an interpreter analogous to MSCCL's: the
+XML lists per-rank instructions (send / receive / copy / sync) and declares
+scratch buffers used to stage chunks that are forwarded by intermediate ranks.
+This compiler emits that structure from a :class:`LinkSchedule`: a global
+``<sync>`` separates communication steps (store-and-forward semantics), sends
+whose chunk terminates at the peer write into the peer's output buffer, and
+sends that will be forwarded later write into the peer's scratch buffer.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from .ir import LinkSchedule
+
+__all__ = ["compile_to_oneccl_xml", "scratch_buffer_bytes"]
+
+
+def compile_to_oneccl_xml(schedule: LinkSchedule, collective: str = "alltoall") -> str:
+    """Serialize a link schedule to oneCCL-like XML."""
+    schedule.validate_links()
+    topo = schedule.topology
+    root = ET.Element("schedule", {
+        "coll": collective,
+        "topology": topo.name,
+        "nranks": str(topo.num_nodes),
+        "nsteps": str(schedule.num_steps),
+        "runtime": "oneccl",
+    })
+
+    for rank in topo.nodes:
+        rank_el = ET.SubElement(root, "rank", {"id": str(rank)})
+        scratch = ET.SubElement(rank_el, "scratch", {
+            "chunks": str(_scratch_chunks(schedule, rank)),
+        })
+        for step in range(1, schedule.num_steps + 1):
+            step_el = ET.SubElement(rank_el, "commstep", {"t": str(step)})
+            for op in sorted(schedule.ops_at_step(step),
+                             key=lambda o: (o.src, o.dst, o.chunk.source, o.chunk.destination, o.chunk.lo)):
+                if op.src == rank:
+                    ET.SubElement(step_el, "send", {
+                        "peer": str(op.dst),
+                        "srcbuf": "input" if op.chunk.source == rank else "scratch",
+                        "dstbuf": "output" if op.chunk.destination == op.dst else "scratch",
+                        "shardsrc": str(op.chunk.source),
+                        "sharddst": str(op.chunk.destination),
+                        "lo": f"{op.chunk.lo:.9f}",
+                        "hi": f"{op.chunk.hi:.9f}",
+                    })
+                if op.dst == rank:
+                    ET.SubElement(step_el, "recv", {
+                        "peer": str(op.src),
+                        "dstbuf": "output" if op.chunk.destination == rank else "scratch",
+                        "shardsrc": str(op.chunk.source),
+                        "sharddst": str(op.chunk.destination),
+                        "lo": f"{op.chunk.lo:.9f}",
+                        "hi": f"{op.chunk.hi:.9f}",
+                    })
+            ET.SubElement(step_el, "sync", {})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _scratch_chunks(schedule: LinkSchedule, rank: int) -> int:
+    """Number of foreign chunks this rank ever stages (sizes its scratch buffer)."""
+    staged = set()
+    for op in schedule.operations:
+        if op.dst == rank and op.chunk.destination != rank:
+            staged.add((op.chunk.source, op.chunk.destination, round(op.chunk.lo, 9)))
+    return len(staged)
+
+
+def scratch_buffer_bytes(schedule: LinkSchedule, shard_bytes: float) -> Dict[int, float]:
+    """Scratch buffer size needed per rank for a given shard size.
+
+    A rank must be able to hold every foreign chunk it stages simultaneously
+    in the worst case (conservative upper bound; the interpreter can reuse
+    space once a chunk is forwarded).
+    """
+    out: Dict[int, float] = {r: 0.0 for r in schedule.topology.nodes}
+    for op in schedule.operations:
+        if op.chunk.destination != op.dst:
+            out[op.dst] += op.chunk.bytes(shard_bytes)
+    return out

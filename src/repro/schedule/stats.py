@@ -1,0 +1,100 @@
+"""Schedule statistics: instruction counts, load balance, buffer pressure.
+
+These metrics summarise a lowered schedule the way a runtime engineer would
+inspect it before deploying: how many steps / instructions per rank, how
+evenly the links are loaded (directly tied to achievable throughput), how much
+scratch space forwarding needs, and how many queue pairs a routed schedule
+opens (§5.5 discusses QP pressure as the practical scaling limit of granular
+chunking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..topology.base import Edge
+from .ir import LinkSchedule, RoutedSchedule
+
+__all__ = ["LinkScheduleStats", "RoutedScheduleStats", "link_schedule_stats",
+           "routed_schedule_stats"]
+
+
+@dataclass(frozen=True)
+class LinkScheduleStats:
+    """Summary statistics of a time-stepped link schedule."""
+
+    num_steps: int
+    num_operations: int
+    operations_per_rank_max: int
+    total_fraction_moved: float        # in shard units
+    max_step_link_fraction: float      # busiest link in the busiest step
+    load_imbalance: float              # max / mean link fraction over the whole schedule
+    forwarded_fraction: float          # shard units staged at intermediate ranks
+
+
+@dataclass(frozen=True)
+class RoutedScheduleStats:
+    """Summary statistics of a routed (path-based) schedule."""
+
+    num_assignments: int
+    num_distinct_routes: int
+    num_layers: int
+    max_route_hops: int
+    mean_route_hops: float
+    queue_pairs_per_rank_max: int
+    load_imbalance: float              # max / mean link fraction
+
+
+def link_schedule_stats(schedule: LinkSchedule) -> LinkScheduleStats:
+    """Compute :class:`LinkScheduleStats` for a link schedule."""
+    per_rank: Dict[int, int] = {}
+    link_total: Dict[Edge, float] = {}
+    max_step_link = 0.0
+    forwarded = 0.0
+    for op in schedule.operations:
+        per_rank[op.src] = per_rank.get(op.src, 0) + 1
+        link_total[(op.src, op.dst)] = link_total.get((op.src, op.dst), 0.0) + op.chunk.fraction
+        if op.dst != op.chunk.destination:
+            forwarded += op.chunk.fraction
+    for step in range(1, schedule.num_steps + 1):
+        loads = schedule.link_bytes(step, shard_bytes=1.0)
+        if loads:
+            max_step_link = max(max_step_link, max(loads.values()))
+    totals = list(link_total.values())
+    mean_load = sum(totals) / len(totals) if totals else 0.0
+    imbalance = (max(totals) / mean_load) if mean_load > 0 else 0.0
+    return LinkScheduleStats(
+        num_steps=schedule.num_steps,
+        num_operations=len(schedule.operations),
+        operations_per_rank_max=max(per_rank.values(), default=0),
+        total_fraction_moved=sum(op.chunk.fraction for op in schedule.operations),
+        max_step_link_fraction=max_step_link,
+        load_imbalance=imbalance,
+        forwarded_fraction=forwarded,
+    )
+
+
+def routed_schedule_stats(schedule: RoutedSchedule) -> RoutedScheduleStats:
+    """Compute :class:`RoutedScheduleStats` for a routed schedule."""
+    routes = set()
+    per_rank: Dict[int, int] = {}
+    link_total: Dict[Edge, float] = {}
+    hops: List[int] = []
+    for a in schedule.assignments:
+        routes.add((a.route, a.layer))
+        per_rank[a.chunk.source] = per_rank.get(a.chunk.source, 0) + 1
+        hops.append(len(a.route) - 1)
+        for e in a.edges:
+            link_total[e] = link_total.get(e, 0.0) + a.chunk.fraction
+    totals = list(link_total.values())
+    mean_load = sum(totals) / len(totals) if totals else 0.0
+    return RoutedScheduleStats(
+        num_assignments=len(schedule.assignments),
+        num_distinct_routes=len(routes),
+        num_layers=schedule.num_layers(),
+        max_route_hops=max(hops, default=0),
+        mean_route_hops=(sum(hops) / len(hops)) if hops else 0.0,
+        queue_pairs_per_rank_max=max(per_rank.values(), default=0),
+        load_imbalance=(max(totals) / mean_load) if mean_load > 0 else 0.0,
+    )

@@ -1,0 +1,37 @@
+"""Direct-connect fabric simulator (the testbed substitute)."""
+
+from .collective import CollectiveResult, run_link_collective, run_routed_collective, throughput_sweep
+from .costmodel import (
+    alltoall_time_upper_bound,
+    latency_bandwidth_time,
+    steady_state_throughput,
+    throughput_upper_bound_curve,
+)
+from .events import Event, EventQueue
+from .fabric import GBPS, GIBI, FabricModel, a100_ml_fabric, cerio_hpc_fabric, ideal_fabric
+from .flowsim import FlowSimResult, FluidFlow, simulate_flows
+from .stepsim import StepSimResult, simulate_link_schedule
+
+__all__ = [
+    "CollectiveResult",
+    "run_link_collective",
+    "run_routed_collective",
+    "throughput_sweep",
+    "alltoall_time_upper_bound",
+    "latency_bandwidth_time",
+    "steady_state_throughput",
+    "throughput_upper_bound_curve",
+    "Event",
+    "EventQueue",
+    "GBPS",
+    "GIBI",
+    "FabricModel",
+    "a100_ml_fabric",
+    "cerio_hpc_fabric",
+    "ideal_fabric",
+    "FlowSimResult",
+    "FluidFlow",
+    "simulate_flows",
+    "StepSimResult",
+    "simulate_link_schedule",
+]

@@ -1,0 +1,114 @@
+"""End-to-end execution of all-to-all schedules on the simulated fabric.
+
+This is the substitute for the paper's hardware testbeds: given a schedule
+(link-based :class:`LinkSchedule` or path-based :class:`RoutedSchedule`), a
+fabric model and a buffer size, it validates the schedule, executes it on the
+appropriate simulator and reports the achieved throughput -- producing the
+same throughput-vs-buffer-size series as Fig. 3/4/5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..schedule.ir import LinkSchedule, RoutedSchedule
+from ..schedule.validate import validate_link_schedule, validate_routed_schedule
+from ..topology.base import Topology
+from .fabric import FabricModel
+from .flowsim import FluidFlow, simulate_flows
+from .stepsim import simulate_link_schedule
+
+__all__ = ["CollectiveResult", "run_link_collective", "run_routed_collective",
+           "throughput_sweep"]
+
+
+@dataclass
+class CollectiveResult:
+    """Result of running one all-to-all collective at one buffer size."""
+
+    buffer_bytes: float          # total per-node buffer (N shards)
+    shard_bytes: float           # m = buffer / N
+    completion_time: float       # seconds
+    num_nodes: int
+    schedule_kind: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """All-to-all throughput ``(N - 1) * m / T`` in bytes/second (§2.2)."""
+        if self.completion_time <= 0:
+            return float("inf")
+        return (self.num_nodes - 1) * self.shard_bytes / self.completion_time
+
+
+def run_link_collective(schedule: LinkSchedule, buffer_bytes: float,
+                        fabric: Optional[FabricModel] = None,
+                        validate: bool = True,
+                        num_channels: int = 1) -> CollectiveResult:
+    """Execute a link-based schedule for a total per-node buffer size."""
+    if validate:
+        validate_link_schedule(schedule)
+    n = schedule.topology.num_nodes
+    shard = buffer_bytes / n
+    sim = simulate_link_schedule(schedule, shard_bytes=shard, fabric=fabric,
+                                 num_channels=num_channels)
+    return CollectiveResult(
+        buffer_bytes=buffer_bytes,
+        shard_bytes=shard,
+        completion_time=sim.total_time,
+        num_nodes=n,
+        schedule_kind="link",
+        meta={"step_times": sim.step_times, "num_steps": schedule.num_steps},
+    )
+
+
+def run_routed_collective(schedule: RoutedSchedule, buffer_bytes: float,
+                          fabric: Optional[FabricModel] = None,
+                          validate: bool = True) -> CollectiveResult:
+    """Execute a path-based schedule for a total per-node buffer size.
+
+    Every chunk assignment becomes one fluid flow along its route; flows run
+    concurrently under max-min fair sharing (cut-through fabric behaviour).
+    """
+    if validate:
+        validate_routed_schedule(schedule)
+    topo = schedule.topology
+    n = topo.num_nodes
+    shard = buffer_bytes / n
+    flows = [FluidFlow(path=a.route, size_bytes=a.chunk.bytes(shard),
+                       tag=(a.chunk.source, a.chunk.destination))
+             for a in schedule.assignments]
+    sim = simulate_flows(topo, flows, fabric=fabric)
+    return CollectiveResult(
+        buffer_bytes=buffer_bytes,
+        shard_bytes=shard,
+        completion_time=sim.completion_time,
+        num_nodes=n,
+        schedule_kind="routed",
+        meta={"num_flows": len(flows), "max_link_bytes": sim.max_link_bytes},
+    )
+
+
+def throughput_sweep(schedule: Union[LinkSchedule, RoutedSchedule],
+                     buffer_sizes: Sequence[float],
+                     fabric: Optional[FabricModel] = None,
+                     validate_first: bool = True,
+                     num_channels: int = 1) -> List[CollectiveResult]:
+    """Run the schedule across a sweep of buffer sizes (the Fig. 3/4 x-axis).
+
+    The schedule is validated once (on the first point) and then reused.
+    """
+    results: List[CollectiveResult] = []
+    for i, buf in enumerate(buffer_sizes):
+        validate = validate_first and i == 0
+        if isinstance(schedule, LinkSchedule):
+            results.append(run_link_collective(schedule, buf, fabric=fabric,
+                                               validate=validate,
+                                               num_channels=num_channels))
+        elif isinstance(schedule, RoutedSchedule):
+            results.append(run_routed_collective(schedule, buf, fabric=fabric,
+                                                 validate=validate))
+        else:
+            raise TypeError(f"unsupported schedule type {type(schedule)!r}")
+    return results

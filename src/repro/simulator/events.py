@@ -1,0 +1,88 @@
+"""Minimal discrete-event engine.
+
+The fluid-flow simulator (:mod:`repro.simulator.flowsim`) advances time from
+flow-completion event to flow-completion event; this module provides the small
+priority-queue engine it (and any future packet-level extensions) builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event: a callback firing at a simulated time.
+
+    Events with equal time fire in insertion order (the monotonically
+    increasing ``sequence`` breaks ties deterministically).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events keyed by simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = Event(time=self.now + delay, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self.now, callback)
+
+    def empty(self) -> bool:
+        """True when no (non-cancelled) events remain."""
+        return not any(not e.cancelled for e in self._heap)
+
+    def step(self) -> bool:
+        """Pop and run the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events until the queue drains (or ``until`` / ``max_events`` hit).
+
+        Returns the final simulated time.
+        """
+        executed = 0
+        while self._heap:
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.time > until:
+                break
+            if executed >= max_events:
+                raise RuntimeError("event budget exhausted (runaway simulation?)")
+            self.step()
+            executed += 1
+        return self.now

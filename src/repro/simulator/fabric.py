@@ -1,0 +1,114 @@
+"""Fabric models: bandwidth and latency parameters of the simulated interconnect.
+
+Table 1 of the paper contrasts HPC fabrics (NIC/hardware routing, cut-through
+flow control, forwarding bandwidth >= injection bandwidth) with ML accelerator
+fabrics (host/GPU forwarding, store-and-forward, synchronized schedules).  The
+testbed parameters from §5.1 are provided as ready-made constructors:
+
+* Cerio NC1225-like NIC: 12 x 25 Gbps links (b = 3.125 GB/s per link, up to
+  300 Gbps forwarding), 100 Gbps (12.5 GB/s) host injection over PCIe gen3 x16;
+* A100 GPU testbed: degree-3/4 topologies over the same 25 Gbps links.
+
+All bandwidths are stored in bytes/second and latencies in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FabricModel", "GBPS", "GIBI", "cerio_hpc_fabric", "a100_ml_fabric", "ideal_fabric"]
+
+GBPS = 1e9 / 8.0          # 1 Gbps in bytes/second
+GIBI = 2.0 ** 30
+
+
+@dataclass(frozen=True)
+class FabricModel:
+    """Bandwidth/latency description of a direct-connect fabric.
+
+    Attributes
+    ----------
+    link_bandwidth:
+        Per-link bandwidth ``b`` in bytes/second.
+    injection_bandwidth:
+        Host/accelerator injection bandwidth ``B_host`` in bytes/second
+        (None means not a bottleneck, i.e. >= degree * link_bandwidth).
+    forwarding_bandwidth:
+        NIC forwarding bandwidth in bytes/second (None = unlimited / equal to
+        the sum of link bandwidths); only meaningful for NIC-routed fabrics.
+    nic_forwarding:
+        True for HPC-style fabrics where the NIC forwards traffic without
+        host involvement (cut-through), False for ML-style store-and-forward.
+    per_step_latency:
+        Synchronization overhead per communication step (store-and-forward
+        schedules pay it once per step).
+    per_hop_latency:
+        Per-hop propagation/switching latency for cut-through routing.
+    per_message_overhead:
+        Fixed software/NIC overhead per message or chunk transfer.
+    """
+
+    link_bandwidth: float = 25.0 * GBPS
+    injection_bandwidth: Optional[float] = None
+    forwarding_bandwidth: Optional[float] = None
+    nic_forwarding: bool = True
+    per_step_latency: float = 20e-6
+    per_hop_latency: float = 1e-6
+    per_message_overhead: float = 2e-6
+    name: str = "fabric"
+
+    def effective_injection(self, degree: int) -> float:
+        """Injection bandwidth cap, defaulting to degree * link bandwidth."""
+        full = degree * self.link_bandwidth
+        if self.injection_bandwidth is None:
+            return full
+        return min(self.injection_bandwidth, full)
+
+    def injection_limited(self, degree: int) -> bool:
+        """True when the host injection bandwidth is below the NIC aggregate."""
+        return (self.injection_bandwidth is not None
+                and self.injection_bandwidth < degree * self.link_bandwidth)
+
+
+def cerio_hpc_fabric(link_gbps: float = 25.0, injection_gbps: float = 100.0,
+                     forwarding_gbps: float = 300.0) -> FabricModel:
+    """Cerio NC1225-like HPC fabric (§5.1): NIC source routing + cut-through."""
+    return FabricModel(
+        link_bandwidth=link_gbps * GBPS,
+        injection_bandwidth=injection_gbps * GBPS,
+        forwarding_bandwidth=forwarding_gbps * GBPS,
+        nic_forwarding=True,
+        per_step_latency=20e-6,
+        per_hop_latency=1e-6,
+        per_message_overhead=2e-6,
+        name="cerio-hpc",
+    )
+
+
+def a100_ml_fabric(link_gbps: float = 25.0, injection_gbps: Optional[float] = None) -> FabricModel:
+    """A100 GPU testbed-like ML fabric: host/GPU forwarding, store-and-forward."""
+    return FabricModel(
+        link_bandwidth=link_gbps * GBPS,
+        injection_bandwidth=None if injection_gbps is None else injection_gbps * GBPS,
+        forwarding_bandwidth=None,
+        nic_forwarding=False,
+        per_step_latency=30e-6,
+        per_hop_latency=2e-6,
+        per_message_overhead=5e-6,
+        name="a100-ml",
+    )
+
+
+def ideal_fabric(link_bandwidth: float = 1.0) -> FabricModel:
+    """Zero-latency fabric with unit link bandwidth (for analytic comparisons)."""
+    return FabricModel(
+        link_bandwidth=link_bandwidth,
+        injection_bandwidth=None,
+        forwarding_bandwidth=None,
+        nic_forwarding=True,
+        per_step_latency=0.0,
+        per_hop_latency=0.0,
+        per_message_overhead=0.0,
+        name="ideal",
+    )

@@ -1,0 +1,50 @@
+"""Direct-connect topology generators and graph properties."""
+
+from .base import Topology, Edge
+from .bipartite import complete_bipartite
+from .expander import jellyfish, random_regular, xpander
+from .hypercube import hypercube, twisted_hypercube
+from .hyperx import flattened_butterfly, hyperx
+from .kautz import generalized_de_bruijn, generalized_kautz, kautz
+from .misc import bidirectional_ring, chain, complete, dragonfly, ring
+from .torus import (
+    coordinate_of,
+    edge_punctured_torus,
+    mesh,
+    node_of,
+    node_punctured_torus,
+    torus,
+    torus_2d,
+    torus_3d,
+)
+from . import properties
+
+__all__ = [
+    "Topology",
+    "Edge",
+    "complete_bipartite",
+    "jellyfish",
+    "random_regular",
+    "xpander",
+    "hypercube",
+    "twisted_hypercube",
+    "flattened_butterfly",
+    "hyperx",
+    "generalized_de_bruijn",
+    "generalized_kautz",
+    "kautz",
+    "bidirectional_ring",
+    "chain",
+    "complete",
+    "dragonfly",
+    "ring",
+    "coordinate_of",
+    "edge_punctured_torus",
+    "mesh",
+    "node_of",
+    "node_punctured_torus",
+    "torus",
+    "torus_2d",
+    "torus_3d",
+    "properties",
+]

@@ -1,0 +1,34 @@
+"""Complete bipartite direct-connect topology.
+
+The paper's GPU testbed evaluates the complete bipartite graph K_{4,4}
+(8 nodes, degree 4) as one of its reconfigurable patch-panel topologies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .base import Topology
+
+__all__ = ["complete_bipartite"]
+
+
+def complete_bipartite(left: int, right: int | None = None, cap: float = 1.0) -> Topology:
+    """Complete bipartite graph ``K_{left,right}`` with bidirectional links.
+
+    Nodes ``0..left-1`` form one side, ``left..left+right-1`` the other; every
+    cross pair is connected by a bidirectional link, so nodes on the left have
+    degree ``right`` and vice versa.  ``right`` defaults to ``left``.
+    """
+    if right is None:
+        right = left
+    if left < 1 or right < 1:
+        raise ValueError("both sides must have at least one node")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(left + right))
+    for u in range(left):
+        for v in range(left, left + right):
+            g.add_edge(u, v, cap=cap)
+            g.add_edge(v, u, cap=cap)
+    return Topology(g, name=f"bipartite-{left}x{right}", default_cap=cap,
+                    metadata={"family": "complete_bipartite", "left": left, "right": right})

@@ -1,0 +1,86 @@
+"""Expander topologies used as comparison points in §5.4 (Fig. 10 right).
+
+* Xpander [Valadarsky et al. 2016]: built by "lifting" the complete graph
+  K_{d+1}; every original node becomes a super-node of ``lift`` copies and each
+  original edge becomes a random perfect matching between the two super-nodes.
+* Random regular graph (the Jellyfish construction [Singla et al. 2012]).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import networkx as nx
+
+from .base import Topology
+
+__all__ = ["xpander", "random_regular", "jellyfish"]
+
+
+def xpander(degree: int, lift: int, seed: int = 0, cap: float = 1.0) -> Topology:
+    """Xpander with ``(degree + 1) * lift`` nodes and degree ``degree``.
+
+    Parameters
+    ----------
+    degree:
+        Node degree ``d``; the base graph is the complete graph on ``d+1`` nodes.
+    lift:
+        Lift factor (number of copies of each base node).  ``lift >= 2``.
+    seed:
+        Seed for the random matchings (deterministic construction).
+    """
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if lift < 2:
+        raise ValueError("lift must be >= 2")
+    rng = random.Random(seed)
+    base_nodes = degree + 1
+    n = base_nodes * lift
+
+    def node_id(base: int, copy: int) -> int:
+        return base * lift + copy
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for a in range(base_nodes):
+        for b in range(a + 1, base_nodes):
+            perm = list(range(lift))
+            rng.shuffle(perm)
+            for copy_a, copy_b in enumerate(perm):
+                u, v = node_id(a, copy_a), node_id(b, copy_b)
+                g.add_edge(u, v, cap=cap)
+                g.add_edge(v, u, cap=cap)
+    return Topology(g, name=f"xpander-d{degree}-n{n}-s{seed}", default_cap=cap,
+                    metadata={"family": "xpander", "degree": degree, "lift": lift,
+                              "seed": seed})
+
+
+def random_regular(degree: int, num_nodes: int, seed: int = 0, cap: float = 1.0,
+                   max_tries: int = 50) -> Topology:
+    """Connected random ``degree``-regular graph on ``num_nodes`` nodes.
+
+    ``degree * num_nodes`` must be even (handshake condition).  Construction is
+    retried until a connected sample is found.
+    """
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if degree >= num_nodes:
+        raise ValueError("degree must be < num_nodes")
+    if (degree * num_nodes) % 2 != 0:
+        raise ValueError("degree * num_nodes must be even")
+    for attempt in range(max_tries):
+        g = nx.random_regular_graph(degree, num_nodes, seed=seed + attempt)
+        if nx.is_connected(g):
+            topo = Topology.from_undirected(
+                g, name=f"randregular-d{degree}-n{num_nodes}-s{seed}", cap=cap,
+                metadata={"family": "random_regular", "degree": degree, "seed": seed})
+            return topo
+    raise RuntimeError("failed to sample a connected random regular graph")
+
+
+def jellyfish(degree: int, num_nodes: int, seed: int = 0, cap: float = 1.0) -> Topology:
+    """Jellyfish topology: alias for a connected random regular graph."""
+    topo = random_regular(degree, num_nodes, seed=seed, cap=cap)
+    topo.metadata["family"] = "jellyfish"
+    return topo

@@ -1,0 +1,74 @@
+"""Hypercube and twisted-hypercube topologies.
+
+The internal GPU testbed in the paper (§5.1) evaluates a 3D hypercube and a 3D
+*twisted* hypercube, both with degree 3 (N = 8), alongside a complete bipartite
+graph with degree 4.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .base import Topology
+
+__all__ = ["hypercube", "twisted_hypercube"]
+
+
+def hypercube(dimension: int, cap: float = 1.0) -> Topology:
+    """Binary ``dimension``-cube with ``2**dimension`` nodes, degree ``dimension``.
+
+    Nodes differing in exactly one bit are connected by a bidirectional link.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    n = 1 << dimension
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            g.add_edge(u, v, cap=cap)
+    return Topology(g, name=f"hypercube-{dimension}d", default_cap=cap,
+                    metadata={"family": "hypercube", "dimension": dimension})
+
+
+def twisted_hypercube(dimension: int = 3, cap: float = 1.0) -> Topology:
+    """Twisted binary hypercube of the given dimension.
+
+    Construction (standard "crossed / twisted cube" recursion, used here for
+    the degree-3, 8-node instance evaluated in the paper): take two copies of
+    the ``(dimension-1)``-cube and join copy-0 node ``u`` to copy-1 node
+    ``sigma(u)``, where ``sigma`` swaps the two lowest address bits.  Compared
+    with the plain hypercube this reduces the average distance (the highest-
+    dimension links no longer connect identical addresses) while keeping the
+    degree equal to ``dimension``.
+    """
+    if dimension < 2:
+        raise ValueError("twisted hypercube needs dimension >= 2")
+    half = 1 << (dimension - 1)
+    n = half * 2
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+
+    # Two disjoint (dimension-1)-cubes.
+    for u in range(half):
+        for bit in range(dimension - 1):
+            v = u ^ (1 << bit)
+            g.add_edge(u, v, cap=cap)
+            g.add_edge(u + half, v + half, cap=cap)
+
+    def sigma(u: int) -> int:
+        if dimension - 1 < 2:
+            return u
+        low2 = u & 0b11
+        swapped = ((low2 & 0b01) << 1) | ((low2 & 0b10) >> 1)
+        return (u & ~0b11) | swapped
+
+    # Twisted cross links between the two halves.
+    for u in range(half):
+        v = sigma(u) + half
+        g.add_edge(u, v, cap=cap)
+        g.add_edge(v, u, cap=cap)
+
+    return Topology(g, name=f"twisted-hypercube-{dimension}d", default_cap=cap,
+                    metadata={"family": "twisted_hypercube", "dimension": dimension})

@@ -1,0 +1,77 @@
+"""HyperX / flattened-butterfly style direct-connect topologies.
+
+§5.4 of the paper notes that many HPC topology families (SlimFly, SpectralFly,
+flattened butterflies, ...) only exist for particular node counts, which is
+one argument for generalized Kautz graphs.  These generators provide two such
+families so the topology-comparison tooling (Fig. 10 style studies,
+``examples/topology_design.py``) can include them where they do exist:
+
+* **HyperX(L, S)** -- an L-dimensional lattice with S nodes per dimension where
+  every pair of nodes differing in exactly one coordinate is directly
+  connected (each dimension is a clique).  The flattened butterfly is the
+  special case of a fully-subscribed HyperX.
+* **flattened_butterfly(radix, dims)** -- convenience wrapper with the usual
+  (k-ary n-flat) naming.
+
+Degree is ``sum(S_i - 1)`` which grows with the dimension sizes, so these
+families occupy the high-degree / low-diameter corner of the design space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+import networkx as nx
+
+from .base import Topology
+from .torus import coordinate_of, node_of
+
+__all__ = ["hyperx", "flattened_butterfly"]
+
+
+def hyperx(dims: Sequence[int], cap: float = 1.0) -> Topology:
+    """HyperX lattice: nodes differing in exactly one coordinate are connected.
+
+    Parameters
+    ----------
+    dims:
+        Nodes per dimension, e.g. ``[4, 4]`` gives 16 nodes of degree 6.
+    """
+    dims = list(dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("every HyperX dimension must be >= 2")
+    n = 1
+    for d in dims:
+        n *= d
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for coord in itertools.product(*[range(d) for d in dims]):
+        u = node_of(coord, dims)
+        for axis, size in enumerate(dims):
+            for other in range(size):
+                if other == coord[axis]:
+                    continue
+                c = list(coord)
+                c[axis] = other
+                v = node_of(c, dims)
+                g.add_edge(u, v, cap=cap)
+    name = "hyperx-" + "x".join(str(d) for d in dims)
+    return Topology(g, name=name, default_cap=cap,
+                    metadata={"family": "hyperx", "dims": tuple(dims)})
+
+
+def flattened_butterfly(radix: int, dimensions: int, cap: float = 1.0) -> Topology:
+    """k-ary n-flat flattened butterfly: a HyperX with ``dimensions`` equal sides.
+
+    ``radix`` is the number of nodes per dimension (the router radix per
+    dimension of the unflattened butterfly); total nodes ``radix**dimensions``.
+    """
+    if radix < 2 or dimensions < 1:
+        raise ValueError("radix must be >= 2 and dimensions >= 1")
+    topo = hyperx([radix] * dimensions, cap=cap)
+    topo.metadata["family"] = "flattened_butterfly"
+    topo.metadata["radix"] = radix
+    topo.metadata["dimensions"] = dimensions
+    return Topology(topo.graph, name=f"flatbutterfly-{radix}ary-{dimensions}flat",
+                    default_cap=cap, metadata=topo.metadata)

@@ -1,0 +1,109 @@
+"""Miscellaneous reference topologies: ring, chain, complete graph, dragonfly.
+
+These are not headline topologies in the paper's evaluation but serve as
+analytically tractable fixtures for tests (the optimal all-to-all MCF value on
+a ring and on a complete graph is known in closed form) and as additional
+coverage for the topology-agnostic claims of the MCF algorithms.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .base import Topology
+
+__all__ = ["ring", "bidirectional_ring", "chain", "complete", "dragonfly"]
+
+
+def ring(num_nodes: int, cap: float = 1.0) -> Topology:
+    """Unidirectional ring: node ``u`` connects to ``(u+1) mod N`` (degree 1)."""
+    if num_nodes < 2:
+        raise ValueError("ring needs at least 2 nodes")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_nodes))
+    for u in range(num_nodes):
+        g.add_edge(u, (u + 1) % num_nodes, cap=cap)
+    return Topology(g, name=f"ring-{num_nodes}", default_cap=cap,
+                    metadata={"family": "ring"})
+
+
+def bidirectional_ring(num_nodes: int, cap: float = 1.0) -> Topology:
+    """Bidirectional ring (degree 2)."""
+    if num_nodes < 3:
+        raise ValueError("bidirectional ring needs at least 3 nodes")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_nodes))
+    for u in range(num_nodes):
+        v = (u + 1) % num_nodes
+        g.add_edge(u, v, cap=cap)
+        g.add_edge(v, u, cap=cap)
+    return Topology(g, name=f"biring-{num_nodes}", default_cap=cap,
+                    metadata={"family": "bidirectional_ring"})
+
+
+def chain(num_nodes: int, cap: float = 1.0) -> Topology:
+    """Bidirectional line/chain topology."""
+    if num_nodes < 2:
+        raise ValueError("chain needs at least 2 nodes")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_nodes))
+    for u in range(num_nodes - 1):
+        g.add_edge(u, u + 1, cap=cap)
+        g.add_edge(u + 1, u, cap=cap)
+    return Topology(g, name=f"chain-{num_nodes}", default_cap=cap,
+                    metadata={"family": "chain"})
+
+
+def complete(num_nodes: int, cap: float = 1.0) -> Topology:
+    """Complete directed graph (every ordered pair connected)."""
+    if num_nodes < 2:
+        raise ValueError("complete graph needs at least 2 nodes")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_nodes))
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v:
+                g.add_edge(u, v, cap=cap)
+    return Topology(g, name=f"complete-{num_nodes}", default_cap=cap,
+                    metadata={"family": "complete"})
+
+
+def dragonfly(groups: int, routers_per_group: int, cap: float = 1.0) -> Topology:
+    """Simplified canonical dragonfly with one global link per router.
+
+    Routers inside a group form a complete graph (local links).  Global links
+    connect group ``g`` router ``r`` to group ``(g + r + 1) mod groups``
+    (a standard palm-tree style global wiring), one global port per router.
+    Requires ``routers_per_group >= groups - 1`` for full global connectivity.
+    """
+    if groups < 2 or routers_per_group < 1:
+        raise ValueError("need at least 2 groups and 1 router per group")
+    n = groups * routers_per_group
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+
+    def nid(grp: int, r: int) -> int:
+        return grp * routers_per_group + r
+
+    for grp in range(groups):
+        for a in range(routers_per_group):
+            for b in range(a + 1, routers_per_group):
+                g.add_edge(nid(grp, a), nid(grp, b), cap=cap)
+                g.add_edge(nid(grp, b), nid(grp, a), cap=cap)
+    for grp in range(groups):
+        for r in range(routers_per_group):
+            target_group = (grp + r + 1) % groups
+            if target_group == grp:
+                continue
+            # Peer router chosen so that the link is symmetric.
+            peer = (groups - 2 - r) % routers_per_group
+            u, v = nid(grp, r), nid(target_group, peer)
+            if u != v:
+                g.add_edge(u, v, cap=cap)
+                g.add_edge(v, u, cap=cap)
+    topo = Topology(g, name=f"dragonfly-g{groups}-r{routers_per_group}", default_cap=cap,
+                    metadata={"family": "dragonfly", "groups": groups,
+                              "routers_per_group": routers_per_group})
+    if not topo.is_strongly_connected():
+        raise ValueError("dragonfly parameters produce a disconnected topology")
+    return topo

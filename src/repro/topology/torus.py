@@ -1,0 +1,151 @@
+"""Mesh, torus and punctured-torus topologies.
+
+The paper's hardware evaluation (§5.1-§5.2) uses a 3x3x3 torus (27 nodes,
+degree 6) and "punctured" variants with 3 random edges or 3 random nodes
+removed (Fig. 5), emulating link/node failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .base import Edge, Topology
+
+__all__ = [
+    "torus",
+    "mesh",
+    "torus_3d",
+    "torus_2d",
+    "edge_punctured_torus",
+    "node_punctured_torus",
+    "coordinate_of",
+    "node_of",
+]
+
+
+def _coords(dims: Sequence[int]) -> List[Tuple[int, ...]]:
+    return list(itertools.product(*[range(d) for d in dims]))
+
+
+def coordinate_of(node: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    """Map a linear node id to its torus coordinate (row-major order)."""
+    coord = []
+    for d in reversed(dims):
+        coord.append(node % d)
+        node //= d
+    return tuple(reversed(coord))
+
+
+def node_of(coord: Sequence[int], dims: Sequence[int]) -> int:
+    """Map a torus coordinate to its linear node id (row-major order)."""
+    node = 0
+    for c, d in zip(coord, dims):
+        if not (0 <= c < d):
+            raise ValueError(f"coordinate {coord} out of bounds for dims {dims}")
+        node = node * d + c
+    return node
+
+
+def torus(dims: Sequence[int], cap: float = 1.0, wrap: bool = True) -> Topology:
+    """k-dimensional torus (``wrap=True``) or mesh (``wrap=False``).
+
+    Each physical link is bidirectional (two opposing directed edges).  In a
+    dimension of size 2 the wrap link coincides with the direct link, so the
+    degree along that dimension is 1 in each direction rather than 2.
+    """
+    dims = list(dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("every torus dimension must be >= 2")
+    g = nx.DiGraph()
+    n = 1
+    for d in dims:
+        n *= d
+    g.add_nodes_from(range(n))
+    for coord in _coords(dims):
+        u = node_of(coord, dims)
+        for axis, size in enumerate(dims):
+            for delta in (+1, -1):
+                c = list(coord)
+                nxt = c[axis] + delta
+                if wrap:
+                    nxt %= size
+                elif not (0 <= nxt < size):
+                    continue
+                c[axis] = nxt
+                v = node_of(c, dims)
+                if v != u:
+                    g.add_edge(u, v, cap=cap)
+    kind = "torus" if wrap else "mesh"
+    name = f"{kind}-" + "x".join(str(d) for d in dims)
+    return Topology(g, name=name, default_cap=cap,
+                    metadata={"family": kind, "dims": tuple(dims), "wrap": wrap})
+
+
+def mesh(dims: Sequence[int], cap: float = 1.0) -> Topology:
+    """k-dimensional mesh (torus without wrap-around links)."""
+    return torus(dims, cap=cap, wrap=False)
+
+
+def torus_3d(size: int = 3, cap: float = 1.0) -> Topology:
+    """Cubic 3D torus ``size x size x size`` (paper uses size=3, N=27)."""
+    return torus([size, size, size], cap=cap)
+
+
+def torus_2d(rows: int, cols: Optional[int] = None, cap: float = 1.0) -> Topology:
+    """2D torus ``rows x cols`` (cols defaults to rows)."""
+    return torus([rows, cols if cols is not None else rows], cap=cap)
+
+
+def _bidirectional_pairs(topo: Topology) -> List[Edge]:
+    """Undirected link list (u < v) of a bidirectional topology."""
+    pairs = set()
+    for u, v in topo.edges:
+        pairs.add((min(u, v), max(u, v)))
+    return sorted(pairs)
+
+
+def edge_punctured_torus(dims: Sequence[int], num_removed: int = 3, seed: int = 0,
+                         cap: float = 1.0, max_tries: int = 200) -> Topology:
+    """Torus with ``num_removed`` random bidirectional links removed (Fig. 5 left).
+
+    Removal is rejected and re-sampled if it would disconnect the topology.
+    """
+    base = torus(dims, cap=cap)
+    rng = random.Random(seed)
+    links = _bidirectional_pairs(base)
+    if num_removed >= len(links):
+        raise ValueError("cannot remove that many links")
+    for _ in range(max_tries):
+        chosen = rng.sample(links, num_removed)
+        directed = [(u, v) for u, v in chosen] + [(v, u) for u, v in chosen]
+        try:
+            topo = base.remove_edges(directed, name=base.name + f"-edgepunct{num_removed}-s{seed}")
+        except ValueError:
+            continue
+        topo.metadata.update({"family": "edge_punctured_torus", "dims": tuple(dims),
+                              "removed_links": sorted(chosen), "seed": seed})
+        return topo
+    raise RuntimeError("failed to find a connected edge-punctured torus")
+
+
+def node_punctured_torus(dims: Sequence[int], num_removed: int = 3, seed: int = 0,
+                         cap: float = 1.0, max_tries: int = 200) -> Topology:
+    """Torus with ``num_removed`` random nodes removed (Fig. 5 right)."""
+    base = torus(dims, cap=cap)
+    rng = random.Random(seed)
+    if num_removed >= base.num_nodes - 1:
+        raise ValueError("cannot remove that many nodes")
+    for _ in range(max_tries):
+        chosen = rng.sample(base.nodes, num_removed)
+        try:
+            topo = base.remove_nodes(chosen, name=base.name + f"-nodepunct{num_removed}-s{seed}")
+        except ValueError:
+            continue
+        topo.metadata.update({"family": "node_punctured_torus", "dims": tuple(dims),
+                              "seed": seed})
+        return topo
+    raise RuntimeError("failed to find a connected node-punctured torus")

@@ -1,0 +1,95 @@
+"""Traffic matrix generators for collective and near-collective workloads.
+
+The headline workload is the uniform all-to-all personalized exchange
+(every ordered pair exchanges the same number of bytes), but the MCF
+formulations accept arbitrary per-commodity demands, and the DLRM / MoE
+workload models produce skewed matrices, so this module centralizes the
+generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.flow import Commodity
+from ..topology.base import Topology
+
+__all__ = [
+    "uniform_alltoall",
+    "skewed_alltoall",
+    "permutation_traffic",
+    "demand_matrix_to_dict",
+    "total_bytes_per_node",
+]
+
+
+def uniform_alltoall(num_nodes: int, bytes_per_pair: float = 1.0) -> np.ndarray:
+    """Uniform all-to-all demand matrix (zero diagonal)."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    mat = np.full((num_nodes, num_nodes), float(bytes_per_pair))
+    np.fill_diagonal(mat, 0.0)
+    return mat
+
+
+def skewed_alltoall(num_nodes: int, bytes_per_pair: float = 1.0, skew: float = 2.0,
+                    hot_fraction: float = 0.25, seed: int = 0) -> np.ndarray:
+    """All-to-all matrix where a fraction of destination columns is ``skew`` x hotter.
+
+    Models embedding-table hot spots in DLRM-style exchanges: every source
+    still talks to every destination, but popular shards receive more bytes.
+    """
+    if skew < 1.0:
+        raise ValueError("skew must be >= 1.0")
+    rng = random.Random(seed)
+    mat = uniform_alltoall(num_nodes, bytes_per_pair)
+    num_hot = max(1, int(round(hot_fraction * num_nodes)))
+    hot = rng.sample(range(num_nodes), num_hot)
+    mat[:, hot] *= skew
+    np.fill_diagonal(mat, 0.0)
+    return mat
+
+
+def permutation_traffic(num_nodes: int, bytes_per_pair: float = 1.0,
+                        seed: int = 0) -> np.ndarray:
+    """Permutation traffic: every node sends to exactly one (distinct) peer.
+
+    A classic adversarial pattern for oblivious routing; useful to contrast
+    with all-to-all in tests and examples.
+    """
+    rng = random.Random(seed)
+    perm = list(range(num_nodes))
+    while True:
+        rng.shuffle(perm)
+        if all(i != p for i, p in enumerate(perm)):
+            break
+    mat = np.zeros((num_nodes, num_nodes))
+    for i, p in enumerate(perm):
+        mat[i, p] = bytes_per_pair
+    return mat
+
+
+def demand_matrix_to_dict(matrix: np.ndarray) -> Dict[Commodity, float]:
+    """Convert a demand matrix to the per-commodity dict the MCF solvers accept.
+
+    Zero-demand off-diagonal entries are kept (with demand 0) so the commodity
+    set stays the full all-to-all set; the MCF demand constraint for them is
+    vacuous.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("demand matrix must be square")
+    out: Dict[Commodity, float] = {}
+    for s in range(n):
+        for d in range(n):
+            if s != d:
+                out[(s, d)] = float(matrix[s, d])
+    return out
+
+
+def total_bytes_per_node(matrix: np.ndarray) -> float:
+    """Maximum bytes any node sends (the per-node buffer size for the exchange)."""
+    return float(matrix.sum(axis=1).max())

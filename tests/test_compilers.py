@@ -1,0 +1,155 @@
+"""Tests for the XML compilers and the executing interpreter (§4)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.schedule import (
+    compile_to_msccl_xml,
+    compile_to_oneccl_xml,
+    compile_to_ompi_xml,
+    count_instructions,
+    count_queue_pairs,
+    execute_link_xml,
+    execute_routed_xml,
+    parse_msccl_xml,
+    parse_oneccl_xml,
+    parse_ompi_xml,
+    scratch_buffer_bytes,
+    validate_link_schedule,
+    validate_routed_schedule,
+)
+from repro.simulator import a100_ml_fabric, cerio_hpc_fabric
+from repro.topology import hypercube
+
+
+class TestMSCCLCompiler:
+    def test_emits_well_formed_xml(self, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule)
+        root = ET.fromstring(xml)
+        assert root.tag == "algo"
+        assert int(root.get("ngpus")) == 8
+        assert int(root.get("nsteps")) == cube3_link_schedule.num_steps
+
+    def test_one_gpu_element_per_rank(self, cube3_link_schedule):
+        root = ET.fromstring(compile_to_msccl_xml(cube3_link_schedule))
+        assert len(root.findall("gpu")) == 8
+
+    def test_send_and_recv_counts_match(self, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule)
+        counts = count_instructions(xml)
+        assert counts["s"] == counts["r"] == len(cube3_link_schedule.operations)
+
+    def test_roundtrip_preserves_schedule(self, cube3, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule)
+        parsed = parse_msccl_xml(xml, cube3)
+        validate_link_schedule(parsed)
+        assert parsed.num_steps == cube3_link_schedule.num_steps
+        assert len(parsed.operations) == len(cube3_link_schedule.operations)
+        original = {(op.src, op.dst, op.step, op.chunk.commodity, round(op.chunk.lo, 6))
+                    for op in cube3_link_schedule.operations}
+        roundtrip = {(op.src, op.dst, op.step, op.chunk.commodity, round(op.chunk.lo, 6))
+                     for op in parsed.operations}
+        assert original == roundtrip
+
+    def test_channels_parameter(self, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule, num_channels=2)
+        assert ET.fromstring(xml).get("nchannels") == "2"
+        with pytest.raises(ValueError):
+            compile_to_msccl_xml(cube3_link_schedule, num_channels=0)
+
+    def test_parse_rejects_foreign_xml(self, cube3):
+        with pytest.raises(ValueError):
+            parse_msccl_xml("<schedule/>", cube3)
+
+
+class TestOneCCLCompiler:
+    def test_emits_well_formed_xml(self, cube3_link_schedule):
+        xml = compile_to_oneccl_xml(cube3_link_schedule)
+        root = ET.fromstring(xml)
+        assert root.get("runtime") == "oneccl"
+        assert len(root.findall("rank")) == 8
+
+    def test_sync_per_step_per_rank(self, cube3_link_schedule):
+        root = ET.fromstring(compile_to_oneccl_xml(cube3_link_schedule))
+        for rank_el in root.findall("rank"):
+            assert len(rank_el.findall(".//sync")) == cube3_link_schedule.num_steps
+
+    def test_roundtrip(self, cube3, cube3_link_schedule):
+        xml = compile_to_oneccl_xml(cube3_link_schedule)
+        parsed = parse_oneccl_xml(xml, cube3)
+        validate_link_schedule(parsed)
+        assert len(parsed.operations) == len(cube3_link_schedule.operations)
+
+    def test_scratch_buffer_sizes(self, cube3_link_schedule):
+        sizes = scratch_buffer_bytes(cube3_link_schedule, shard_bytes=1024)
+        assert set(sizes.keys()) == set(range(8))
+        assert all(v >= 0 for v in sizes.values())
+        # Some rank must forward traffic on a degree-3 topology with diameter 3.
+        assert max(sizes.values()) > 0
+
+    def test_parse_rejects_foreign_xml(self, cube3):
+        with pytest.raises(ValueError):
+            parse_oneccl_xml("<algo/>", cube3)
+
+
+class TestOMPICompiler:
+    def test_emits_routes_and_steering(self, genkautz_routed_schedule):
+        xml = compile_to_ompi_xml(genkautz_routed_schedule)
+        root = ET.fromstring(xml)
+        assert root.get("runtime") == "ompi-ucx"
+        assert len(root.find("routes").findall("route")) > 0
+        assert len(root.find("steering").findall("chunk")) == len(
+            genkautz_routed_schedule.assignments)
+
+    def test_roundtrip(self, genkautz_3_10, genkautz_routed_schedule):
+        xml = compile_to_ompi_xml(genkautz_routed_schedule)
+        parsed = parse_ompi_xml(xml, genkautz_3_10)
+        validate_routed_schedule(parsed)
+        assert len(parsed.assignments) == len(genkautz_routed_schedule.assignments)
+
+    def test_queue_pair_counts(self, genkautz_routed_schedule):
+        counts = count_queue_pairs(genkautz_routed_schedule)
+        n = genkautz_routed_schedule.topology.num_nodes
+        # Every source opens at least one QP per destination.
+        assert all(counts[r] >= n - 1 for r in range(n))
+
+    def test_parse_rejects_foreign_xml(self, genkautz_3_10):
+        with pytest.raises(ValueError):
+            parse_ompi_xml("<algo/>", genkautz_3_10)
+
+
+class TestExecution:
+    def test_execute_msccl_xml_end_to_end(self, cube3, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule)
+        result = execute_link_xml(xml, cube3, buffer_bytes=64 * 2 ** 20,
+                                  fabric=a100_ml_fabric(), dialect="msccl")
+        assert result.throughput > 0
+        assert result.schedule_kind == "link"
+
+    def test_execute_oneccl_xml_end_to_end(self, cube3, cube3_link_schedule):
+        xml = compile_to_oneccl_xml(cube3_link_schedule)
+        result = execute_link_xml(xml, cube3, buffer_bytes=64 * 2 ** 20,
+                                  fabric=a100_ml_fabric(), dialect="oneccl")
+        assert result.throughput > 0
+
+    def test_execute_ompi_xml_end_to_end(self, genkautz_3_10, genkautz_routed_schedule):
+        xml = compile_to_ompi_xml(genkautz_routed_schedule)
+        result = execute_routed_xml(xml, genkautz_3_10, buffer_bytes=64 * 2 ** 20,
+                                    fabric=cerio_hpc_fabric())
+        assert result.throughput > 0
+        assert result.schedule_kind == "routed"
+
+    def test_unknown_dialect_rejected(self, cube3, cube3_link_schedule):
+        xml = compile_to_msccl_xml(cube3_link_schedule)
+        with pytest.raises(ValueError):
+            execute_link_xml(xml, cube3, 1024, dialect="nccl")
+
+    def test_msccl_and_oneccl_execution_agree(self, cube3, cube3_link_schedule):
+        fabric = a100_ml_fabric()
+        buf = 2 ** 26
+        r1 = execute_link_xml(compile_to_msccl_xml(cube3_link_schedule), cube3, buf,
+                              fabric=fabric, dialect="msccl")
+        r2 = execute_link_xml(compile_to_oneccl_xml(cube3_link_schedule), cube3, buf,
+                              fabric=fabric, dialect="oneccl")
+        assert r1.completion_time == pytest.approx(r2.completion_time, rel=1e-9)

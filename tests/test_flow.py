@@ -1,0 +1,138 @@
+"""Tests for flow data structures and hygiene utilities (repro.core.flow)."""
+
+import pytest
+
+from repro.core.flow import (
+    FlowSolution,
+    WeightedPath,
+    conservation_violation,
+    flow_to_paths,
+    max_link_utilization,
+    repair_conservation,
+)
+from repro.topology import ring, complete, Topology
+
+
+class TestWeightedPath:
+    def test_edges_and_endpoints(self):
+        p = WeightedPath(nodes=(0, 2, 3), weight=0.5)
+        assert p.source == 0
+        assert p.destination == 3
+        assert p.edges == ((0, 2), (2, 3))
+        assert len(p) == 2
+
+
+class TestFlowToPaths:
+    def test_single_path_decomposition(self):
+        flow = {(0, 1): 0.5, (1, 2): 0.5}
+        paths = flow_to_paths(flow, 0, 2)
+        assert len(paths) == 1
+        assert paths[0].nodes == (0, 1, 2)
+        assert paths[0].weight == pytest.approx(0.5)
+
+    def test_two_parallel_paths(self):
+        flow = {(0, 1): 0.3, (1, 3): 0.3, (0, 2): 0.7, (2, 3): 0.7}
+        paths = flow_to_paths(flow, 0, 3)
+        weights = sorted(p.weight for p in paths)
+        assert weights == pytest.approx([0.3, 0.7])
+        assert sum(p.weight for p in paths) == pytest.approx(1.0)
+
+    def test_widest_path_extracted_first(self):
+        flow = {(0, 1): 0.9, (1, 3): 0.9, (0, 2): 0.1, (2, 3): 0.1}
+        paths = flow_to_paths(flow, 0, 3)
+        assert paths[0].weight == pytest.approx(0.9)
+
+    def test_cycle_flow_ignored(self):
+        # A circulation not reaching the destination must not produce paths.
+        flow = {(0, 1): 1.0, (1, 2): 1.0, (1, 3): 0.5, (3, 1): 0.5}
+        paths = flow_to_paths(flow, 0, 2)
+        assert sum(p.weight for p in paths) == pytest.approx(1.0)
+        for p in paths:
+            assert p.nodes == (0, 1, 2)
+
+    def test_no_path_returns_empty(self):
+        assert flow_to_paths({(0, 1): 1.0}, 0, 5) == [] or \
+               sum(p.weight for p in flow_to_paths({(0, 1): 1.0}, 0, 5)) == 0.0
+
+    def test_conservation_of_split_and_merge(self):
+        # Diamond: 0->1->3, 0->2->3 then 3->4.
+        flow = {(0, 1): 0.4, (0, 2): 0.6, (1, 3): 0.4, (2, 3): 0.6, (3, 4): 1.0}
+        paths = flow_to_paths(flow, 0, 4)
+        assert sum(p.weight for p in paths) == pytest.approx(1.0)
+        for p in paths:
+            assert p.source == 0 and p.destination == 4
+
+
+class TestConservationViolation:
+    def test_balanced_flow_has_no_violation(self):
+        flow = {(0, 1): 1.0, (1, 2): 1.0}
+        assert conservation_violation(flow, 0, 2) == pytest.approx(0.0)
+
+    def test_excess_at_intermediate_detected(self):
+        flow = {(0, 1): 1.0, (1, 2): 0.25}
+        assert conservation_violation(flow, 0, 2) == pytest.approx(0.75)
+
+    def test_source_and_destination_excluded(self):
+        flow = {(0, 1): 2.0, (1, 2): 2.0}
+        assert conservation_violation(flow, 0, 2) == 0.0
+
+
+class TestFlowSolution:
+    def _make(self, topo):
+        flows = {}
+        for s, d in topo.commodities():
+            # route everything on one shortest path: ring -> the unique path.
+            path = list(range(s, d + 1)) if d > s else list(range(s, topo.num_nodes)) + list(range(0, d + 1))
+            per = {}
+            for u, v in zip(path[:-1], path[1:]):
+                per[(u, v)] = 0.1
+            flows[(s, d)] = per
+        return FlowSolution(concurrent_flow=0.1, flows=flows, topology=topo)
+
+    def test_link_loads_and_utilization(self):
+        topo = ring(4)
+        sol = self._make(topo)
+        loads = sol.link_loads()
+        assert set(loads.keys()) == set(topo.edges)
+        # Each link is used by commodities at distance covering it: 1+2+3 = 6 -> 0.6.
+        assert max(loads.values()) == pytest.approx(0.6)
+        assert max_link_utilization(sol) == pytest.approx(0.6)
+
+    def test_delivered_and_all_to_all_time(self):
+        topo = ring(4)
+        sol = self._make(topo)
+        assert sol.delivered(0, 2) == pytest.approx(0.1)
+        assert sol.min_delivered() == pytest.approx(0.1)
+        assert sol.all_to_all_time() == pytest.approx(10.0)
+
+    def test_all_to_all_time_infinite_for_zero_flow(self):
+        topo = ring(3)
+        sol = FlowSolution(concurrent_flow=0.0, flows={}, topology=topo)
+        assert sol.all_to_all_time() == float("inf")
+
+
+class TestRepairConservation:
+    def test_repair_removes_excess_injection(self):
+        topo = Topology.from_edges(3, [(0, 1), (1, 2), (0, 2)], cap=1.0)
+        # Commodity (0,2) with excess flow near the source (allowed by the
+        # inequality-form conservation constraint).
+        flows = {(0, 2): {(0, 1): 0.7, (1, 2): 0.3, (0, 2): 0.3},
+                 (0, 1): {(0, 1): 0.3},
+                 (1, 2): {(1, 2): 0.3},
+                 (2, 0): {},
+                 (2, 1): {},
+                 (1, 0): {}}
+        # Make the remaining commodities routable (zero flow is fine for repair).
+        sol = FlowSolution(concurrent_flow=0.3, flows=flows, topology=topo)
+        repaired = repair_conservation(sol)
+        per = repaired.commodity_flow(0, 2)
+        assert conservation_violation(per, 0, 2) < 1e-9
+        delivered = repaired.delivered(0, 2)
+        assert delivered == pytest.approx(0.3, abs=1e-9)
+
+    def test_repair_preserves_value_on_clean_solution(self, cube3_link_mcf):
+        repaired = repair_conservation(cube3_link_mcf)
+        assert repaired.concurrent_flow == cube3_link_mcf.concurrent_flow
+        for s, d in cube3_link_mcf.topology.commodities():
+            assert repaired.delivered(s, d) == pytest.approx(
+                cube3_link_mcf.concurrent_flow, abs=1e-6)

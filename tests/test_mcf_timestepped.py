@@ -1,0 +1,93 @@
+"""Tests for the time-stepped MCF (tsMCF, §3.1.3)."""
+
+import pytest
+
+from repro.core import solve_decomposed_mcf, solve_timestepped_mcf
+from repro.topology import Topology, complete, complete_bipartite, hypercube, ring
+
+
+class TestOptimality:
+    def test_total_utilization_equals_inverse_f_on_hypercube(self, cube3, cube3_tsmcf):
+        # With enough steps the time-stepped optimum matches the steady state 1/F.
+        assert cube3_tsmcf.total_utilization == pytest.approx(4.0, rel=1e-4)
+        assert cube3_tsmcf.equivalent_concurrent_flow() == pytest.approx(0.25, rel=1e-4)
+
+    def test_complete_graph_single_step(self):
+        flow = solve_timestepped_mcf(complete(4), num_steps=1)
+        assert flow.total_utilization == pytest.approx(1.0, rel=1e-6)
+        assert flow.num_steps == 1
+
+    def test_bipartite_matches_steady_state(self, bipartite44):
+        steady = solve_decomposed_mcf(bipartite44).concurrent_flow
+        ts = solve_timestepped_mcf(bipartite44)
+        assert ts.equivalent_concurrent_flow() == pytest.approx(steady, rel=1e-3)
+
+    def test_more_steps_never_hurts(self):
+        topo = ring(4)
+        short = solve_timestepped_mcf(topo, num_steps=3)
+        long = solve_timestepped_mcf(topo, num_steps=5)
+        assert long.total_utilization <= short.total_utilization + 1e-6
+
+    def test_ring_matches_steady_state(self):
+        topo = ring(4)
+        ts = solve_timestepped_mcf(topo, num_steps=4)
+        assert ts.total_utilization == pytest.approx(6.0, rel=1e-4)  # 1/F, F=1/6
+
+
+class TestStructure:
+    def test_every_commodity_fully_delivered(self, cube3_tsmcf):
+        for s, d in cube3_tsmcf.topology.commodities():
+            assert cube3_tsmcf.delivered_fraction(s, d) == pytest.approx(1.0, abs=1e-5)
+
+    def test_step_utilization_bounds_link_loads(self, cube3_tsmcf):
+        for t in range(1, cube3_tsmcf.num_steps + 1):
+            loads = cube3_tsmcf.link_load(t)
+            if not loads:
+                continue
+            u_t = cube3_tsmcf.step_utilizations[t - 1]
+            caps = cube3_tsmcf.topology.capacities()
+            for e, load in loads.items():
+                assert load <= u_t * caps[e] + 1e-6
+
+    def test_causality_cumulative(self, cube3_tsmcf):
+        """A node never forwards more of a shard than it has received so far."""
+        topo = cube3_tsmcf.topology
+        for (s, d), per in cube3_tsmcf.flows.items():
+            for u in topo.nodes:
+                if u in (s, d):
+                    continue
+                for t in range(1, cube3_tsmcf.num_steps + 1):
+                    sent = sum(v for (a, b, tt), v in per.items() if a == u and tt <= t)
+                    recv = sum(v for (a, b, tt), v in per.items() if b == u and tt < t)
+                    assert sent <= recv + 1e-6
+
+    def test_flows_respect_step_range(self, cube3_tsmcf):
+        for per in cube3_tsmcf.flows.values():
+            for (u, v, t) in per:
+                assert 1 <= t <= cube3_tsmcf.num_steps
+                assert cube3_tsmcf.topology.has_edge(u, v)
+
+    def test_step_flows_accessor(self, cube3_tsmcf):
+        step1 = cube3_tsmcf.step_flows(1)
+        assert step1, "step 1 must carry traffic"
+        total = sum(sum(per.values()) for per in step1.values())
+        assert total > 0
+
+
+class TestParameters:
+    def test_num_steps_below_diameter_rejected(self, cube3):
+        with pytest.raises(ValueError, match="diameter"):
+            solve_timestepped_mcf(cube3, num_steps=2)
+
+    def test_default_steps_is_diameter_plus_extra(self, cube3, cube3_tsmcf):
+        assert cube3_tsmcf.num_steps == cube3.diameter() + 1
+
+    def test_disconnected_rejected(self):
+        topo = Topology.from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        with pytest.raises(ValueError):
+            solve_timestepped_mcf(topo)
+
+    def test_meta_populated(self, cube3_tsmcf):
+        assert cube3_tsmcf.meta["method"] == "tsmcf"
+        assert cube3_tsmcf.meta["diameter"] == 3
+        assert cube3_tsmcf.solve_seconds > 0

@@ -1,0 +1,84 @@
+"""Tests for the Fig. 1 schedule-generation pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core import (
+    ForwardingModel,
+    SchedulingRequest,
+    estimate_path_diversity,
+    generate_schedule,
+)
+from repro.core.mcf_path import PathSchedule
+from repro.core.mcf_timestepped import TimeSteppedFlow
+from repro.topology import complete_bipartite, generalized_kautz, hypercube, torus_2d
+
+
+class TestPathDiversity:
+    def test_expander_low_diversity(self, genkautz_3_10):
+        assert estimate_path_diversity(genkautz_3_10) < 4.0
+
+    def test_torus_higher_diversity_than_expander(self, genkautz_3_10):
+        torus = torus_2d(4)
+        assert estimate_path_diversity(torus) > estimate_path_diversity(genkautz_3_10)
+
+    def test_sampling_is_deterministic(self, genkautz_4_16):
+        a = estimate_path_diversity(genkautz_4_16, sample=16, seed=3)
+        b = estimate_path_diversity(genkautz_4_16, sample=16, seed=3)
+        assert a == b
+
+
+class TestHostForwarding:
+    def test_host_forwarding_returns_timestepped_flow(self, cube3):
+        request = SchedulingRequest(forwarding=ForwardingModel.HOST)
+        schedule = generate_schedule(cube3, request)
+        assert isinstance(schedule, TimeSteppedFlow)
+        assert schedule.total_utilization == pytest.approx(4.0, rel=1e-3)
+
+    def test_host_bottleneck_triggers_augmentation(self, cube3):
+        request = SchedulingRequest(forwarding=ForwardingModel.HOST,
+                                    host_bandwidth=1.5, link_bandwidth=1.0)
+        schedule = generate_schedule(cube3, request)
+        assert isinstance(schedule, TimeSteppedFlow)
+        assert schedule.meta.get("augmented") is True
+        assert schedule.meta["num_hosts"] == 8
+        # The augmented graph has 3N nodes.
+        assert schedule.topology.num_nodes == 24
+
+    def test_generous_host_bandwidth_skips_augmentation(self, cube3):
+        request = SchedulingRequest(forwarding=ForwardingModel.HOST,
+                                    host_bandwidth=10.0, link_bandwidth=1.0)
+        schedule = generate_schedule(cube3, request)
+        assert schedule.topology.num_nodes == 8
+        assert "augmented" not in schedule.meta
+
+
+class TestNicForwarding:
+    def test_low_diversity_uses_pmcf(self, genkautz_3_10):
+        request = SchedulingRequest(forwarding=ForwardingModel.NIC,
+                                    path_diversity_threshold=4.0)
+        schedule = generate_schedule(genkautz_3_10, request)
+        assert isinstance(schedule, PathSchedule)
+        assert schedule.meta["pipeline"] == "pmcf-disjoint"
+
+    def test_high_diversity_uses_mcf_extp(self):
+        torus = torus_2d(3)
+        request = SchedulingRequest(forwarding=ForwardingModel.NIC,
+                                    path_diversity_threshold=1.5)
+        schedule = generate_schedule(torus, request)
+        assert isinstance(schedule, PathSchedule)
+        assert schedule.meta["pipeline"] == "mcf-extp"
+
+    def test_default_request_is_nic(self, genkautz_3_10):
+        schedule = generate_schedule(genkautz_3_10)
+        assert isinstance(schedule, PathSchedule)
+
+    def test_both_branches_reach_near_optimal_flow(self, bipartite44):
+        from repro.core import solve_decomposed_mcf
+
+        optimal = solve_decomposed_mcf(bipartite44).concurrent_flow
+        pmcf = generate_schedule(bipartite44, SchedulingRequest(
+            forwarding=ForwardingModel.NIC, path_diversity_threshold=100.0))
+        extp = generate_schedule(bipartite44, SchedulingRequest(
+            forwarding=ForwardingModel.NIC, path_diversity_threshold=0.0))
+        assert pmcf.concurrent_flow >= 0.9 * optimal
+        assert extp.concurrent_flow == pytest.approx(optimal, rel=1e-4)

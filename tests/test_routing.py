@@ -1,0 +1,111 @@
+"""Tests for deadlock detection and virtual-channel layer assignment (§5.5)."""
+
+import pytest
+
+from repro.core import solve_mcf_extract_paths
+from repro.paths import sssp_routes, ewsp_schedule
+from repro.routing import (
+    channel_dependency_graph,
+    dfsssp_assign,
+    find_dependency_cycle,
+    is_deadlock_free,
+    lash_assign,
+    lash_sequential_assign,
+    route_edges,
+    verify_layers,
+)
+from repro.topology import bidirectional_ring, hypercube, torus_2d
+
+
+class TestChannelDependencyGraph:
+    def test_route_edges(self):
+        assert route_edges([0, 1, 2]) == [(0, 1), (1, 2)]
+        assert route_edges([5, 3]) == [(5, 3)]
+
+    def test_cdg_nodes_and_arcs(self):
+        cdg = channel_dependency_graph([[0, 1, 2], [1, 2, 3]])
+        assert (0, 1) in cdg.nodes
+        assert cdg.has_edge((0, 1), (1, 2))
+        assert cdg.has_edge((1, 2), (2, 3))
+
+    def test_acyclic_routes_deadlock_free(self):
+        routes = [[0, 1, 2], [1, 2, 3], [0, 1], [2, 3]]
+        assert is_deadlock_free(routes)
+        assert find_dependency_cycle(routes) == []
+
+    def test_ring_cycle_detected(self):
+        # Routes that wrap all the way around a unidirectional cycle deadlock.
+        routes = [[0, 1, 2], [1, 2, 0], [2, 0, 1]]
+        assert not is_deadlock_free(routes)
+        cycle = find_dependency_cycle(routes)
+        assert len(cycle) >= 2
+
+
+class TestLASH:
+    def _cyclic_routes(self):
+        return [[0, 1, 2], [1, 2, 0], [2, 0, 1]]
+
+    def test_lash_splits_cycle_into_layers(self):
+        assignment = lash_assign(self._cyclic_routes())
+        assert assignment.num_layers >= 2
+        assert verify_layers(assignment)
+
+    def test_lash_single_layer_for_acyclic_routes(self):
+        assignment = lash_assign([[0, 1, 2], [1, 2, 3], [3, 4]])
+        assert assignment.num_layers == 1
+        assert verify_layers(assignment)
+
+    def test_lash_sequential_valid(self):
+        assignment = lash_sequential_assign(self._cyclic_routes())
+        assert verify_layers(assignment)
+        assert set(assignment.layer_of) == {tuple(r) for r in self._cyclic_routes()}
+
+    def test_lash_sequential_never_more_layers_than_first_fit_plus_one(self):
+        topo = torus_2d(3)
+        schedule = solve_mcf_extract_paths(topo)
+        routes = [tuple(p.nodes) for plist in schedule.paths.values() for p in plist]
+        seq = lash_sequential_assign(routes)
+        ff = lash_assign(routes)
+        assert verify_layers(seq) and verify_layers(ff)
+        assert seq.num_layers <= ff.num_layers + 1
+
+    def test_paper_claim_at_most_four_layers(self, genkautz_extp, torus33):
+        """§5.5: LASH-sequential needed <= 4 layers across all route sets evaluated."""
+        route_sets = []
+        route_sets.append([tuple(p.nodes) for plist in genkautz_extp.paths.values()
+                           for p in plist])
+        sssp = sssp_routes(torus33)
+        route_sets.append([tuple(p) for p in sssp.values()])
+        ewsp = ewsp_schedule(torus33)
+        route_sets.append([tuple(p.nodes) for plist in ewsp.paths.values() for p in plist])
+        for routes in route_sets:
+            assignment = lash_sequential_assign(routes)
+            assert verify_layers(assignment)
+            assert assignment.num_layers <= 4
+
+    def test_duplicate_routes_assigned_once(self):
+        assignment = lash_assign([[0, 1, 2], [0, 1, 2], [0, 1, 2]])
+        assert len(assignment.layer_of) == 1
+
+
+class TestDFSSSP:
+    def test_acyclic_routes_single_layer(self):
+        assignment = dfsssp_assign([[0, 1, 2], [1, 2, 3]])
+        assert assignment.num_layers == 1
+        assert verify_layers(assignment)
+
+    def test_cycle_broken(self):
+        assignment = dfsssp_assign([[0, 1, 2], [1, 2, 0], [2, 0, 1]])
+        assert assignment.num_layers >= 2
+        assert verify_layers(assignment)
+
+    def test_on_real_schedule(self, genkautz_extp):
+        routes = [tuple(p.nodes) for plist in genkautz_extp.paths.values() for p in plist]
+        assignment = dfsssp_assign(routes)
+        assert verify_layers(assignment)
+        assert assignment.num_layers <= 8
+
+    def test_all_routes_assigned(self):
+        routes = [[0, 1, 2], [1, 2, 0], [2, 0, 1], [0, 1], [1, 2]]
+        assignment = dfsssp_assign(routes)
+        assert len(assignment.layer_of) == 5

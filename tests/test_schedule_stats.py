@@ -1,0 +1,75 @@
+"""Tests for schedule statistics (repro.schedule.stats)."""
+
+import pytest
+
+from repro.schedule import (
+    Chunk,
+    LinkSchedule,
+    LinkSendOp,
+    RouteAssignment,
+    RoutedSchedule,
+    link_schedule_stats,
+    routed_schedule_stats,
+)
+from repro.topology import complete, hypercube
+
+
+class TestLinkScheduleStats:
+    def test_direct_exchange_stats(self):
+        topo = complete(3)
+        ops = [LinkSendOp(Chunk(s, d, 0.0, 1.0), s, d, 1) for s, d in topo.commodities()]
+        stats = link_schedule_stats(LinkSchedule(topo, 1, ops))
+        assert stats.num_steps == 1
+        assert stats.num_operations == 6
+        assert stats.operations_per_rank_max == 2
+        assert stats.total_fraction_moved == pytest.approx(6.0)
+        assert stats.forwarded_fraction == 0.0          # no relaying in a complete graph
+        assert stats.load_imbalance == pytest.approx(1.0)
+        assert stats.max_step_link_fraction == pytest.approx(1.0)
+
+    def test_forwarding_counted(self, cube3_link_schedule):
+        stats = link_schedule_stats(cube3_link_schedule)
+        # Diameter-3 topology must forward something.
+        assert stats.forwarded_fraction > 0
+        assert stats.num_operations == len(cube3_link_schedule.operations)
+        assert stats.load_imbalance >= 1.0
+
+    def test_optimal_schedule_is_balanced(self, cube3_link_schedule):
+        # The tsMCF schedule on the symmetric hypercube loads links evenly.
+        stats = link_schedule_stats(cube3_link_schedule)
+        assert stats.load_imbalance == pytest.approx(1.0, abs=0.05)
+
+    def test_empty_schedule(self):
+        stats = link_schedule_stats(LinkSchedule(complete(3), 1, []))
+        assert stats.num_operations == 0
+        assert stats.load_imbalance == 0.0
+
+
+class TestRoutedScheduleStats:
+    def test_basic_counts(self):
+        topo = hypercube(2)
+        assignments = [
+            RouteAssignment(Chunk(0, 3, 0.0, 0.5), (0, 1, 3), layer=0),
+            RouteAssignment(Chunk(0, 3, 0.5, 1.0), (0, 2, 3), layer=1),
+            RouteAssignment(Chunk(1, 2, 0.0, 1.0), (1, 0, 2), layer=0),
+        ]
+        stats = routed_schedule_stats(RoutedSchedule(topo, assignments))
+        assert stats.num_assignments == 3
+        assert stats.num_distinct_routes == 3
+        assert stats.num_layers == 2
+        assert stats.max_route_hops == 2
+        assert stats.mean_route_hops == pytest.approx(2.0)
+        assert stats.queue_pairs_per_rank_max == 2      # rank 0 opens two chunk flows
+
+    def test_generated_schedule_stats(self, genkautz_routed_schedule):
+        stats = routed_schedule_stats(genkautz_routed_schedule)
+        n = genkautz_routed_schedule.topology.num_nodes
+        assert stats.num_assignments >= n * (n - 1)
+        assert stats.queue_pairs_per_rank_max >= n - 1
+        assert 1.0 <= stats.load_imbalance <= 3.0
+        assert stats.max_route_hops <= 2 * genkautz_routed_schedule.topology.diameter()
+
+    def test_empty_schedule(self):
+        stats = routed_schedule_stats(RoutedSchedule(hypercube(2), []))
+        assert stats.num_assignments == 0
+        assert stats.num_layers == 0

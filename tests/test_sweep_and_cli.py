@@ -1,0 +1,104 @@
+"""Tests for the scheme-comparison sweep layer and the command-line interface."""
+
+import pytest
+
+from repro.analysis import available_schemes, compare_schemes, run_scheme
+from repro.cli import build_parser, build_topology, main
+from repro.topology import torus_2d
+
+
+class TestSchemeRegistry:
+    def test_available_schemes_contains_paper_schemes(self):
+        names = available_schemes()
+        for expected in ("mcf-extp", "pmcf-disjoint", "ewsp", "sssp", "dor",
+                         "native", "ilp-disjoint"):
+            assert expected in names
+
+    def test_run_scheme_by_name(self, bipartite44):
+        schedule = run_scheme("ewsp", bipartite44)
+        assert schedule.concurrent_flow > 0
+
+    def test_unknown_scheme_rejected(self, bipartite44):
+        with pytest.raises(KeyError):
+            run_scheme("does-not-exist", bipartite44)
+
+
+class TestCompareSchemes:
+    def test_compare_orders_mcf_first(self, bipartite44):
+        results = compare_schemes(bipartite44, ["mcf-extp", "sssp", "native"],
+                                  normalize=True)
+        by_name = {r.scheme: r for r in results}
+        assert by_name["mcf-extp"].normalized_time == pytest.approx(1.0, abs=0.01)
+        assert by_name["sssp"].normalized_time >= 1.0 - 1e-9
+        assert by_name["native"].normalized_time > by_name["mcf-extp"].normalized_time
+
+    def test_compare_with_throughputs(self, bipartite44):
+        results = compare_schemes(bipartite44, ["ewsp"], buffer_sizes=[2 ** 20, 2 ** 24])
+        assert len(results[0].throughputs) == 2
+        assert all(tp > 0 for tp in results[0].throughputs.values())
+
+    def test_failures_are_captured_not_raised(self, bipartite44):
+        # DOR is undefined on a bipartite graph; with skip_failures it reports
+        # the error instead of raising.
+        results = compare_schemes(bipartite44, ["dor"], normalize=False)
+        assert results[0].error is not None
+        with pytest.raises(Exception):
+            compare_schemes(bipartite44, ["dor"], normalize=False, skip_failures=False)
+
+
+class TestTopologySpecs:
+    @pytest.mark.parametrize("spec,nodes", [
+        ("genkautz:d=3,n=10", 10),
+        ("hypercube:dim=3", 8),
+        ("twisted:dim=3", 8),
+        ("bipartite:left=4,right=4", 8),
+        ("torus:dims=3x3", 9),
+        ("mesh:dims=2x3", 6),
+        ("xpander:d=3,lift=3", 12),
+        ("rrg:d=3,n=10,seed=2", 10),
+    ])
+    def test_build_topology_specs(self, spec, nodes):
+        topo = build_topology(spec)
+        assert topo.num_nodes == nodes
+        assert topo.is_strongly_connected()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("klein-bottle:n=4")
+
+    def test_malformed_params_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("torus:3x3")
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["topology", "hypercube:dim=2"])
+        assert args.command == "topology"
+
+    def test_topology_command(self, capsys):
+        assert main(["topology", "hypercube:dim=2"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+
+    def test_synthesize_command_hpc(self, tmp_path, capsys):
+        out_file = tmp_path / "schedule.xml"
+        assert main(["synthesize", "genkautz:d=3,n=8", "--fabric", "hpc",
+                     "-o", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "F =" in capsys.readouterr().out
+
+    def test_synthesize_command_ml(self, capsys):
+        assert main(["synthesize", "bipartite:left=3,right=3", "--fabric", "ml"]) == 0
+        assert "tsMCF" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "hypercube:dim=2", "--buffers", "1048576,16777216"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "torus:dims=3x3", "--schemes", "ewsp,sssp,dor"]) == 0
+        out = capsys.readouterr().out
+        assert "ewsp" in out and "dor" in out

@@ -1,0 +1,75 @@
+"""Tests for HyperX / flattened butterfly generators."""
+
+import pytest
+
+from repro.core import solve_decomposed_mcf
+from repro.topology import flattened_butterfly, hyperx, torus_2d
+from repro.topology.properties import all_to_all_upper_bound_from_distance
+
+
+class TestHyperX:
+    def test_basic_shape(self):
+        topo = hyperx([3, 3])
+        assert topo.num_nodes == 9
+        assert topo.degree() == 4          # (3-1) + (3-1)
+        assert topo.diameter() == 2
+        assert topo.is_bidirectional()
+        assert topo.is_strongly_connected()
+
+    def test_asymmetric_dimensions(self):
+        topo = hyperx([2, 4])
+        assert topo.num_nodes == 8
+        assert topo.degree() == 1 + 3
+        assert topo.diameter() == 2
+
+    def test_edges_differ_in_exactly_one_coordinate(self):
+        from repro.topology import coordinate_of
+
+        dims = (3, 4)
+        topo = hyperx(dims)
+        for u, v in topo.edges:
+            cu, cv = coordinate_of(u, dims), coordinate_of(v, dims)
+            assert sum(a != b for a, b in zip(cu, cv)) == 1
+
+    def test_one_dimension_is_complete_graph(self):
+        topo = hyperx([5])
+        assert topo.degree() == 4
+        assert topo.diameter() == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            hyperx([1, 3])
+        with pytest.raises(ValueError):
+            hyperx([])
+
+    def test_lower_diameter_than_torus_of_same_size(self):
+        # HyperX trades degree for diameter relative to the torus.
+        assert hyperx([4, 4]).diameter() < torus_2d(4).diameter()
+
+    def test_mcf_achieves_distance_bound(self):
+        # HyperX is distance-transitive enough for the MCF to meet its bound.
+        topo = hyperx([3, 3])
+        bound = all_to_all_upper_bound_from_distance(topo)
+        value = solve_decomposed_mcf(topo).concurrent_flow
+        assert value == pytest.approx(bound, rel=1e-4)
+
+
+class TestFlattenedButterfly:
+    def test_alias_of_uniform_hyperx(self):
+        fb = flattened_butterfly(radix=3, dimensions=2)
+        hx = hyperx([3, 3])
+        assert fb.num_nodes == hx.num_nodes
+        assert set(fb.edges) == set(hx.edges)
+        assert fb.metadata["family"] == "flattened_butterfly"
+
+    def test_three_dimensional(self):
+        fb = flattened_butterfly(radix=2, dimensions=3)
+        assert fb.num_nodes == 8
+        assert fb.degree() == 3            # one neighbour per dimension at radix 2
+        assert fb.is_strongly_connected()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            flattened_butterfly(radix=1, dimensions=2)
+        with pytest.raises(ValueError):
+            flattened_butterfly(radix=3, dimensions=0)
