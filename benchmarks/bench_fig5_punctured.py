@@ -28,16 +28,22 @@ def _throughput(schedule):
     return throughput_sweep(routed, [BUFFER], fabric=FABRIC)[0].throughput
 
 
-def _run_envelopes(make_instance, num_instances, record, label, benchmark):
+def _run_envelopes(make_instance, num_instances, record, label, benchmark, runner):
     per_scheme = {"MCF-extP/C": [], "ILP-disjoint/C": [], "SSSP/C": []}
 
+    def run_seed(seed):
+        topo = make_instance(seed)
+        return (_throughput(solve_mcf_extract_paths(topo)),
+                _throughput(ilp_disjoint_schedule(topo, mip_rel_gap=0.05, time_limit=60)),
+                _throughput(sssp_schedule(topo)))
+
     def run_all():
-        for seed in range(num_instances):
-            topo = make_instance(seed)
-            per_scheme["MCF-extP/C"].append(_throughput(solve_mcf_extract_paths(topo)))
-            per_scheme["ILP-disjoint/C"].append(
-                _throughput(ilp_disjoint_schedule(topo, mip_rel_gap=0.05, time_limit=60)))
-            per_scheme["SSSP/C"].append(_throughput(sssp_schedule(topo)))
+        # Instances are independent; the shared runner samples them
+        # concurrently when REPRO_BENCH_JOBS > 1, keeping seed order.
+        for mcf, ilp, sssp in runner.map(run_seed, range(num_instances)):
+            per_scheme["MCF-extP/C"].append(mcf)
+            per_scheme["ILP-disjoint/C"].append(ilp)
+            per_scheme["SSSP/C"].append(sssp)
         return per_scheme
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -51,23 +57,25 @@ def _run_envelopes(make_instance, num_instances, record, label, benchmark):
     return per_scheme
 
 
-def test_fig5_edge_punctured_torus(benchmark, record, scale):
+def test_fig5_edge_punctured_torus(benchmark, record, scale, runner):
     dims = [3, 3, 3] if scale == "paper" else [3, 3]
     removed = 3 if scale == "paper" else 2
     instances = 10 if scale == "paper" else 3
     per_scheme = _run_envelopes(
         lambda seed: edge_punctured_torus(dims, num_removed=removed, seed=seed),
-        instances, record, f"edge-punctured torus {'x'.join(map(str, dims))}", benchmark)
+        instances, record, f"edge-punctured torus {'x'.join(map(str, dims))}", benchmark,
+        runner)
     for mcf, sssp in zip(per_scheme["MCF-extP/C"], per_scheme["SSSP/C"]):
         assert mcf >= sssp * 0.99
 
 
-def test_fig5_node_punctured_torus(benchmark, record, scale):
+def test_fig5_node_punctured_torus(benchmark, record, scale, runner):
     dims = [3, 3, 3] if scale == "paper" else [3, 3]
     removed = 3 if scale == "paper" else 2
     instances = 10 if scale == "paper" else 3
     per_scheme = _run_envelopes(
         lambda seed: node_punctured_torus(dims, num_removed=removed, seed=seed),
-        instances, record, f"node-punctured torus {'x'.join(map(str, dims))}", benchmark)
+        instances, record, f"node-punctured torus {'x'.join(map(str, dims))}", benchmark,
+        runner)
     for mcf, sssp in zip(per_scheme["MCF-extP/C"], per_scheme["SSSP/C"]):
         assert mcf >= sssp * 0.99

@@ -31,31 +31,35 @@ from repro.topology import generalized_kautz
 DEGREE = 4
 
 
-def test_fig8_normalized_alltoall_time(benchmark, record, scale):
+def test_fig8_normalized_alltoall_time(benchmark, record, scale, runner):
     sizes = [25, 50, 75, 100] if scale == "paper" else [16, 24, 32]
     ilp_limit = 50 if scale == "paper" else 24
 
     rows = []
     per_size = {}
 
+    def run_size(n):
+        topo = generalized_kautz(DEGREE, n)
+        optimal = solve_decomposed_mcf(topo)
+        reference = 1.0 / optimal.concurrent_flow
+        times = {"Link-based MCF": reference}
+        times["pMCF-disjoint"] = 1.0 / solve_path_mcf(
+            topo, edge_disjoint_path_sets(topo)).concurrent_flow
+        times["pMCF-shortest"] = 1.0 / solve_path_mcf(
+            topo, all_shortest_path_sets(topo, limit_per_pair=16)).concurrent_flow
+        times["EwSP"] = ewsp_schedule(topo).all_to_all_time()
+        times["SSSP"] = sssp_schedule(topo).all_to_all_time()
+        if n <= ilp_limit:
+            times["ILP-disjoint"] = ilp_disjoint_schedule(
+                topo, mip_rel_gap=0.05, time_limit=120).all_to_all_time()
+            times["ILP-shortest"] = ilp_shortest_schedule(
+                topo, mip_rel_gap=0.05, time_limit=120).all_to_all_time()
+        return n, normalize_times(times, reference)
+
     def run_sweep():
-        for n in sizes:
-            topo = generalized_kautz(DEGREE, n)
-            optimal = solve_decomposed_mcf(topo)
-            reference = 1.0 / optimal.concurrent_flow
-            times = {"Link-based MCF": reference}
-            times["pMCF-disjoint"] = 1.0 / solve_path_mcf(
-                topo, edge_disjoint_path_sets(topo)).concurrent_flow
-            times["pMCF-shortest"] = 1.0 / solve_path_mcf(
-                topo, all_shortest_path_sets(topo, limit_per_pair=16)).concurrent_flow
-            times["EwSP"] = ewsp_schedule(topo).all_to_all_time()
-            times["SSSP"] = sssp_schedule(topo).all_to_all_time()
-            if n <= ilp_limit:
-                times["ILP-disjoint"] = ilp_disjoint_schedule(
-                    topo, mip_rel_gap=0.05, time_limit=120).all_to_all_time()
-                times["ILP-shortest"] = ilp_shortest_schedule(
-                    topo, mip_rel_gap=0.05, time_limit=120).all_to_all_time()
-            normalized = normalize_times(times, reference)
+        # Sizes are independent; the shared runner solves them concurrently
+        # when REPRO_BENCH_JOBS > 1 and keeps input order either way.
+        for n, normalized in runner.map(run_size, sizes):
             per_size[n] = normalized
             for name, value in normalized.items():
                 rows.append([name, n, value])

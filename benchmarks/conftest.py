@@ -12,6 +12,13 @@ synthesis sweeps) are scaled to laptop/CI sizes by default.  Set
 ``REPRO_BENCH_SCALE=paper`` to run closer to the paper's sizes (minutes to
 hours), ``REPRO_BENCH_SCALE=small`` (default) for the quick configuration.
 EXPERIMENTS.md records results from the default configuration.
+
+Parallelism
+-----------
+``REPRO_BENCH_JOBS=N`` runs independent benchmark work items (per-size
+sweeps, per-instance samples) on N threads through the engine's shared
+:class:`~repro.engine.runner.ParallelRunner` via the ``runner`` fixture.
+The default of 1 is serial and byte-identical to previous releases.
 """
 
 from __future__ import annotations
@@ -35,6 +42,42 @@ def bench_scale() -> str:
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
+
+
+def bench_jobs() -> int:
+    """Worker count for parallel benchmark sections (default 1 = serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()
+
+
+@pytest.fixture(scope="session")
+def runner(jobs):
+    """Shared ParallelRunner for independent benchmark work items."""
+    from repro.engine import ParallelRunner
+
+    return ParallelRunner(jobs=jobs)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_cache_off():
+    """Disable the engine's solution cache for the whole benchmark session.
+
+    The figures regenerated here (Fig. 7 runtime scaling, the parallelism
+    ablation) time LP solves; serving a repeated (topology, formulation) from
+    the cache would report dict-lookup times as solve times and corrupt the
+    comparison.  Correctness tests keep the cache on; benchmarks measure.
+    """
+    from repro.engine import get_engine
+
+    engine = get_engine()
+    prev = engine.cache.enabled
+    engine.cache.enabled = False
+    yield
+    engine.cache.enabled = prev
 
 
 @pytest.fixture(scope="session")

@@ -8,14 +8,28 @@ compilation to MSCCL/oneCCL/OMPI-style XML, a direct-connect fabric simulator,
 and application workloads (3D FFT, DLRM, MoE).
 """
 
-from . import analysis, baselines, core, paths, routing, schedule, simulator, topology, workloads
+from . import (
+    analysis,
+    baselines,
+    constants,
+    core,
+    engine,
+    paths,
+    routing,
+    schedule,
+    simulator,
+    topology,
+    workloads,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "baselines",
+    "constants",
     "core",
+    "engine",
     "paths",
     "routing",
     "schedule",

@@ -4,12 +4,20 @@ A thin experiment-runner layer shared by the CLI and the benchmark harness: a
 registry of named schedule-generation schemes (the algorithms compared in the
 paper's figures) and helpers to run several of them on one topology and
 collect normalized all-to-all times or simulated throughputs.
+
+``compare_schemes(..., jobs=N)`` runs the schemes concurrently on threads via
+the engine's :class:`~repro.engine.runner.ParallelRunner`; results keep input
+order, so parallel output is identical to the serial run.  All schemes share
+the engine's solution cache, so re-running a comparison on the same topology
+solves no new LPs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..engine import ParallelRunner
 
 from ..baselines import (
     ilp_disjoint_schedule,
@@ -80,7 +88,8 @@ def compare_schemes(topology: Topology, schemes: Sequence[str],
                     buffer_sizes: Optional[Sequence[float]] = None,
                     fabric: Optional[FabricModel] = None,
                     normalize: bool = True,
-                    skip_failures: bool = True) -> List[SchemeResult]:
+                    skip_failures: bool = True,
+                    jobs: int = 1) -> List[SchemeResult]:
     """Run several schemes on a topology and collect comparable metrics.
 
     Parameters
@@ -95,22 +104,23 @@ def compare_schemes(topology: Topology, schemes: Sequence[str],
         If True, a scheme that raises (e.g. DOR on a non-torus) produces a
         :class:`SchemeResult` with the ``error`` field set instead of aborting
         the whole comparison.
+    jobs:
+        Number of schemes evaluated concurrently (threads; HiGHS releases the
+        GIL during solves).  Results keep the order of ``schemes`` regardless.
     """
     fabric = fabric or cerio_hpc_fabric()
     reference = None
     if normalize:
         reference = 1.0 / solve_decomposed_mcf(topology).concurrent_flow
 
-    results: List[SchemeResult] = []
-    for name in schemes:
+    def run_one(name: str) -> SchemeResult:
         try:
             schedule = run_scheme(name, topology)
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
             if not skip_failures:
                 raise
-            results.append(SchemeResult(scheme=name, concurrent_flow=0.0,
-                                        all_to_all_time=float("inf"), error=str(exc)))
-            continue
+            return SchemeResult(scheme=name, concurrent_flow=0.0,
+                                all_to_all_time=float("inf"), error=str(exc))
         time = schedule.all_to_all_time()
         result = SchemeResult(
             scheme=name,
@@ -122,5 +132,6 @@ def compare_schemes(topology: Topology, schemes: Sequence[str],
             routed = chunk_path_schedule(schedule, max_denominator=16)
             for r in throughput_sweep(routed, buffer_sizes, fabric=fabric):
                 result.throughputs[r.buffer_bytes] = r.throughput
-        results.append(result)
-    return results
+        return result
+
+    return ParallelRunner(jobs=jobs).map(run_one, list(schemes))

@@ -172,7 +172,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     topo = build_topology(args.topology)
     schemes = args.schemes.split(",") if args.schemes else ["mcf-extp", "ewsp", "sssp", "native"]
     buffers = _buffer_list(args.buffers) if args.buffers else None
-    results = compare_schemes(topo, schemes, buffer_sizes=buffers, fabric=_fabric(args.fabric))
+    results = compare_schemes(topo, schemes, buffer_sizes=buffers, fabric=_fabric(args.fabric),
+                              jobs=args.jobs)
     rows = []
     for r in results:
         if r.error:
@@ -188,9 +189,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="All-to-all collective schedule synthesis for direct-connect topologies")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_topo = sub.add_parser("topology", help="print properties of a topology spec")
@@ -211,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
     p_sim.add_argument("--buffers", default="1048576,16777216,268435456",
                        help="comma-separated per-node buffer sizes in bytes")
-    p_sim.add_argument("--jobs", type=int, default=1)
+    p_sim.add_argument("--jobs", type=int, default=1,
+                       help="parallel child-LP workers for the decomposed MCF")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="compare schemes on a topology")
@@ -220,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"comma-separated scheme names from: {', '.join(available_schemes())}")
     p_cmp.add_argument("--buffers", default=None)
     p_cmp.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_cmp.add_argument("--jobs", type=int, default=1,
+                       help="schemes evaluated concurrently (output is identical to serial)")
     p_cmp.set_defaults(func=_cmd_compare)
     return parser
 

@@ -1,0 +1,36 @@
+"""Shared numerical tolerances.
+
+Every tolerance used to interpret LP output or drive the fluid simulator
+lives here so that the semantics are documented once and the values cannot
+drift apart between modules.
+
+FLOW_TOL
+    Threshold below which an LP flow variable is treated as zero when a
+    solution is read back from the solver.  HiGHS reports primal values with
+    ~1e-10 noise around zero; 1e-9 cleanly separates genuine (rational) flow
+    values from that noise for the unit-capacity problems solved here.  Used
+    by every MCF formulation and by the path decomposition in
+    :mod:`repro.core.flow`.
+
+SIM_EPS
+    Epsilon for the fluid (progressive-filling) simulator's rate and
+    remaining-bytes comparisons.  It is much tighter than ``FLOW_TOL``
+    because the simulator accumulates byte counts over many events and a
+    loose epsilon would terminate transfers early.
+
+SCHEDULE_TOL
+    Coverage tolerance for schedule validation: a commodity counts as fully
+    covered when its chunk assignments sum to at least ``1 - SCHEDULE_TOL``.
+    Chunking quantizes path weights to small rational fractions, so the
+    round-off is far larger than LP noise.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FLOW_TOL", "SIM_EPS", "SCHEDULE_TOL"]
+
+FLOW_TOL = 1e-9
+
+SIM_EPS = 1e-12
+
+SCHEDULE_TOL = 1e-6

@@ -16,14 +16,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
+from ..constants import FLOW_TOL
 from ..topology.base import Edge, Topology
 
 Commodity = Tuple[int, int]
 
 __all__ = ["Commodity", "FlowSolution", "WeightedPath", "flow_to_paths",
            "repair_conservation", "max_link_utilization", "conservation_violation"]
-
-_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -112,7 +111,7 @@ def conservation_violation(flow: Mapping[Edge, float], source: int, destination:
 
 
 def flow_to_paths(flow: Mapping[Edge, float], source: int, destination: int,
-                  tol: float = _EPS) -> List[WeightedPath]:
+                  tol: float = FLOW_TOL) -> List[WeightedPath]:
     """Decompose a single-commodity link flow into weighted s->d paths.
 
     Uses iterative widest-path extraction on the flow-induced subgraph: find

@@ -9,30 +9,47 @@ cover both the flow forwarded onwards and the share ``F`` sunk at ``u``.
 Each child LP (eqs. 10-14), one per source ``s``, then splits the grouped flow
 ``f'_s`` into per-destination commodity flows on a graph whose link capacities
 are set to the master solution, minimizing total flow (which discourages
-gratuitous detours).  Child LPs are independent and can be solved in parallel.
+gratuitous detours).  Child LPs are independent; the shared
+:class:`~repro.engine.runner.ParallelRunner` executes them serially or on a
+process pool (``n_jobs``).
 
 The decomposition returns the same optimal concurrent flow value ``F`` as the
 original MCF (the grouped flow is a relaxation whose value is achievable, and
 any per-commodity solution aggregates to a feasible grouped flow), although
 the individual link flows may differ.
+
+Both the master and child LPs are registered engine formulations
+(``"mcf-master"`` / ``"mcf-child"``) solved through
+:func:`repro.engine.solve`, so repeated solves of the same topology hit the
+solution cache.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..constants import FLOW_TOL
+from ..engine import MCFProblem, ParallelRunner, register_formulation
+from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
 from .flow import Commodity, FlowSolution, repair_conservation
 from .mcf_link import terminal_commodities
-from .solver import LPBuilder, SolverError
+from .solver import LPBuilder
 
 __all__ = ["solve_decomposed_mcf", "solve_master_lp", "solve_child_lp",
            "DecomposedTimings", "MasterSolution"]
 
-_FLOW_TOL = 1e-9
+
+def _g_key(s, e):
+    """Master-LP variable key: grouped flow of source ``s`` on edge ``e``."""
+    return ("g", s, e)
+
+
+def _f_key(d, e):
+    """Child-LP variable key: flow to destination ``d`` on edge ``e``."""
+    return ("f", d, e)
 
 
 @dataclass
@@ -63,6 +80,46 @@ class DecomposedTimings:
         return self.master_seconds + self.max_child_seconds
 
 
+@register_formulation("mcf-master")
+def build_master_lp(problem: MCFProblem) -> LPBuilder:
+    """Assemble the source-grouped master LP (eqs. 6-9)."""
+    topology = problem.topology
+    terminals = problem.params.get("terminals")
+    edges = topology.edges
+    caps = topology.capacities()
+    nodes = topology.nodes
+    if terminals is None:
+        sources = list(nodes)
+        terminal_set = set(nodes)
+    else:
+        sources = sorted(set(int(t) for t in terminals))
+        terminal_set = set(sources)
+
+    lp = LPBuilder()
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    for s in sources:
+        for e in edges:
+            lp.add_variable(_g_key(s, e), lb=0.0)
+
+    # (7) capacity per link over all source groups.
+    for e in edges:
+        lp.add_le([(_g_key(s, e), 1.0) for s in sources], caps[e])
+
+    # (8) source-based conservation: F + outflow <= inflow at every terminal
+    # u != s; non-terminal relays only forward (outflow <= inflow).
+    out_edges = {u: topology.out_edges(u) for u in nodes}
+    in_edges = {u: topology.in_edges(u) for u in nodes}
+    for s in sources:
+        for u in nodes:
+            if u == s:
+                continue
+            terms = [("F", 1.0)] if u in terminal_set else []
+            terms += [(_g_key(s, e), 1.0) for e in out_edges[u]]
+            terms += [(_g_key(s, e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+    return lp
+
+
 def solve_master_lp(topology: Topology,
                     terminals: Optional[List[int]] = None) -> MasterSolution:
     """Solve the source-grouped master LP (eqs. 6-9).
@@ -75,54 +132,76 @@ def solve_master_lp(topology: Topology,
     if not topology.is_strongly_connected():
         raise ValueError("MCF requires a strongly connected topology")
     start = time.perf_counter()
-    edges = topology.edges
-    caps = topology.capacities()
-    nodes = topology.nodes
     if terminals is None:
-        sources = list(nodes)
-        terminal_set = set(nodes)
+        sources = list(topology.nodes)
+        params: Dict[str, object] = {}
     else:
         sources = sorted(set(int(t) for t in terminals))
-        terminal_set = set(sources)
         if len(sources) < 2:
             raise ValueError("need at least two terminals")
+        params = {"terminals": sources}
 
-    lp = LPBuilder()
-    g_key = lambda s, e: ("g", s, e)
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    for s in sources:
-        for e in edges:
-            lp.add_variable(g_key(s, e), lb=0.0)
-
-    # (7) capacity per link over all source groups.
-    for e in edges:
-        lp.add_le([(g_key(s, e), 1.0) for s in sources], caps[e])
-
-    # (8) source-based conservation: F + outflow <= inflow at every terminal
-    # u != s; non-terminal relays only forward (outflow <= inflow).
-    out_edges = {u: topology.out_edges(u) for u in nodes}
-    in_edges = {u: topology.in_edges(u) for u in nodes}
-    for s in sources:
-        for u in nodes:
-            if u == s:
-                continue
-            terms = [("F", 1.0)] if u in terminal_set else []
-            terms += [(g_key(s, e), 1.0) for e in out_edges[u]]
-            terms += [(g_key(s, e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
-
-    solution = lp.solve(maximize=True)
+    problem = MCFProblem("mcf-master", topology, params=params, maximize=True)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
+
+    edges = topology.edges
     grouped: Dict[int, Dict[Edge, float]] = {}
     for s in sources:
         per_edge = {}
         for e in edges:
-            val = solution.value(g_key(s, e))
-            if val > _FLOW_TOL:
+            val = solution.value(_g_key(s, e))
+            if val > FLOW_TOL:
                 per_edge[e] = val
         grouped[s] = per_edge
     return MasterSolution(concurrent_flow=float(solution.value("F")),
                           grouped_flows=grouped, solve_seconds=elapsed)
+
+
+@register_formulation("mcf-child")
+def build_child_lp(problem: MCFProblem) -> LPBuilder:
+    """Assemble the per-source child LP (eqs. 10-14)."""
+    topology = problem.topology
+    source = problem.params["source"]
+    grouped_flow = dict(problem.params["grouped_flow"])
+    concurrent_flow = problem.params["concurrent_flow"]
+    slack = problem.params.get("slack", 1e-7)
+    destinations = problem.params.get("destinations")
+
+    nodes = topology.nodes
+    if destinations is None:
+        destinations = [d for d in nodes if d != source]
+    else:
+        destinations = [d for d in destinations if d != source]
+    # Only edges that carry grouped flow can carry per-commodity flow.
+    edges = [e for e in topology.edges if grouped_flow.get(e, 0.0) > FLOW_TOL]
+
+    lp = LPBuilder()
+    for d in destinations:
+        for e in edges:
+            lp.add_variable(_f_key(d, e), lb=0.0, objective=1.0)
+
+    # (11) per-link cap = grouped flow.
+    for e in edges:
+        lp.add_le([(_f_key(d, e), 1.0) for d in destinations], grouped_flow[e])
+
+    out_edges = {u: [e for e in edges if e[0] == u] for u in nodes}
+    in_edges = {u: [e for e in edges if e[1] == u] for u in nodes}
+    demand = max(concurrent_flow - slack, 0.0)
+    for d in destinations:
+        # (12) conservation at intermediate nodes.
+        for u in nodes:
+            if u == source or u == d:
+                continue
+            terms = [(_f_key(d, e), 1.0) for e in out_edges[u]]
+            terms += [(_f_key(d, e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+        # (13) demand at the sink; the sink never re-emits its own commodity
+        # (prevents circulation through d from faking delivered demand).
+        lp.add_ge([(_f_key(d, e), 1.0) for e in in_edges[d]], demand)
+        for e in out_edges[d]:
+            lp.add_le([(_f_key(d, e), 1.0)], 0.0)
+    return lp
 
 
 def solve_child_lp(topology: Topology, source: int, grouped_flow: Dict[Edge, float],
@@ -141,47 +220,31 @@ def solve_child_lp(topology: Topology, source: int, grouped_flow: Dict[Edge, flo
     start = time.perf_counter()
     nodes = topology.nodes
     if destinations is None:
-        destinations = [d for d in nodes if d != source]
+        dest_list = [d for d in nodes if d != source]
+        dest_param = None
     else:
-        destinations = [d for d in destinations if d != source]
-    # Only edges that carry grouped flow can carry per-commodity flow.
-    edges = [e for e in topology.edges if grouped_flow.get(e, 0.0) > _FLOW_TOL]
+        dest_list = [d for d in destinations if d != source]
+        dest_param = sorted(dest_list)
+    edges = [e for e in topology.edges if grouped_flow.get(e, 0.0) > FLOW_TOL]
 
-    lp = LPBuilder()
-    f_key = lambda d, e: ("f", d, e)
-    for d in destinations:
-        for e in edges:
-            lp.add_variable(f_key(d, e), lb=0.0, objective=1.0)
-
-    # (11) per-link cap = grouped flow.
-    for e in edges:
-        lp.add_le([(f_key(d, e), 1.0) for d in destinations], grouped_flow[e])
-
-    out_edges = {u: [e for e in edges if e[0] == u] for u in nodes}
-    in_edges = {u: [e for e in edges if e[1] == u] for u in nodes}
-    demand = max(concurrent_flow - slack, 0.0)
-    for d in destinations:
-        # (12) conservation at intermediate nodes.
-        for u in nodes:
-            if u == source or u == d:
-                continue
-            terms = [(f_key(d, e), 1.0) for e in out_edges[u]]
-            terms += [(f_key(d, e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
-        # (13) demand at the sink; the sink never re-emits its own commodity
-        # (prevents circulation through d from faking delivered demand).
-        lp.add_ge([(f_key(d, e), 1.0) for e in in_edges[d]], demand)
-        for e in out_edges[d]:
-            lp.add_le([(f_key(d, e), 1.0)], 0.0)
-
-    solution = lp.solve(maximize=False)
+    params: Dict[str, object] = {
+        "source": int(source),
+        "grouped_flow": {e: float(v) for e, v in sorted(grouped_flow.items())},
+        "concurrent_flow": float(concurrent_flow),
+        "slack": float(slack),
+    }
+    if dest_param is not None:
+        params["destinations"] = dest_param
+    problem = MCFProblem("mcf-child", topology, params=params, maximize=False)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
+
     flows: Dict[Commodity, Dict[Edge, float]] = {}
-    for d in destinations:
+    for d in dest_list:
         per_edge = {}
         for e in edges:
-            val = solution.value(f_key(d, e))
-            if val > _FLOW_TOL:
+            val = solution.value(_f_key(d, e))
+            if val > FLOW_TOL:
                 per_edge[e] = val
         flows[(source, d)] = per_edge
     return flows, elapsed
@@ -203,9 +266,10 @@ def solve_decomposed_mcf(topology: Topology, repair: bool = True,
     ----------
     n_jobs:
         Number of worker processes for the child LPs.  ``1`` (default) solves
-        them serially in-process, which is deterministic and test friendly;
-        larger values use a process pool (the paper runs the N child LPs on N
-        cores).
+        them serially in-process, which is deterministic and shares the
+        engine's in-memory solution cache; larger values use a process pool
+        via :class:`~repro.engine.runner.ParallelRunner` (the paper runs the
+        N child LPs on N cores).
     terminals:
         Optional subset of nodes that exchange data; other nodes only relay
         (host-NIC augmented topologies).
@@ -224,20 +288,12 @@ def solve_decomposed_mcf(topology: Topology, repair: bool = True,
     flows: Dict[Commodity, Dict[Edge, float]] = {}
     sources = topology.nodes if terminals is None else sorted(set(terminals))
     destinations = None if terminals is None else sorted(set(terminals))
-    if n_jobs <= 1:
-        for s in sources:
-            child_flows, elapsed = solve_child_lp(
-                topology, s, master.grouped_flows[s], master.concurrent_flow,
-                destinations=destinations)
-            flows.update(child_flows)
-            timings.child_seconds_each.append(elapsed)
-    else:
-        args = [(topology, s, master.grouped_flows[s], master.concurrent_flow, destinations)
-                for s in sources]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for source, child_flows, elapsed in pool.map(_child_worker, args):
-                flows.update(child_flows)
-                timings.child_seconds_each.append(elapsed)
+    args = [(topology, s, master.grouped_flows[s], master.concurrent_flow, destinations)
+            for s in sources]
+    runner = ParallelRunner(jobs=n_jobs, mode="process")
+    for source, child_flows, elapsed in runner.map(_child_worker, args):
+        flows.update(child_flows)
+        timings.child_seconds_each.append(elapsed)
 
     timings.total_seconds = time.perf_counter() - total_start
     result = FlowSolution(

@@ -11,6 +11,10 @@ exact conservation for schedule generation.
 
 This formulation has ``O(N^2 * E) = O(k N^3)`` variables for a k-regular graph
 and is the scalability bottleneck the decomposition of §3.1.2 addresses.
+
+The LP is assembled by the registered ``"mcf-link"`` formulation and solved
+through :func:`repro.engine.solve`, which adds content-addressed caching and
+backend selection on top.
 """
 
 from __future__ import annotations
@@ -18,13 +22,20 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..constants import FLOW_TOL
+from ..engine import MCFProblem, register_formulation
+from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
 from .flow import Commodity, FlowSolution, repair_conservation
 from .solver import LPBuilder
 
 __all__ = ["solve_link_mcf", "terminal_commodities"]
 
-_FLOW_TOL = 1e-9
+
+def _f_key(c, e):
+    """LP variable key of commodity ``c`` on edge ``e`` (shared by the
+    assembler and the result extractor so they can never drift apart)."""
+    return ("f", c, e)
 
 
 def terminal_commodities(topology: Topology,
@@ -45,6 +56,50 @@ def terminal_commodities(topology: Topology,
     if len(terminals) < 2:
         raise ValueError("need at least two terminals")
     return [(s, d) for s in terminals for d in terminals if s != d]
+
+
+@register_formulation("mcf-link")
+def build_link_mcf(problem: MCFProblem) -> LPBuilder:
+    """Assemble the link-based MCF LP (eqs. 1-5) from a problem spec."""
+    topology = problem.topology
+    terminals = problem.params.get("terminals")
+    demand = problem.params.get("demand")
+    commodities = terminal_commodities(topology, terminals)
+    edges = topology.edges
+    caps = topology.capacities()
+    if demand is None:
+        demand = {c: 1.0 for c in commodities}
+
+    lp = LPBuilder()
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    for c in commodities:
+        for e in edges:
+            lp.add_variable(_f_key(c, e), lb=0.0)
+
+    # (2) capacity per link.
+    for e in edges:
+        lp.add_le([(_f_key(c, e), 1.0) for c in commodities], caps[e])
+
+    # (3) conservation (inequality form) at intermediate nodes,
+    # (4) demand at the sink.  The sink never re-emits its own commodity,
+    # otherwise circulation through the sink could satisfy (4) without
+    # delivering anything (the gross-inflow exploit the paper's
+    # post-processing step also guards against).
+    out_edges = {u: topology.out_edges(u) for u in topology.nodes}
+    in_edges = {u: topology.in_edges(u) for u in topology.nodes}
+    for s, d in commodities:
+        for u in topology.nodes:
+            if u == s or u == d:
+                continue
+            terms = [(_f_key((s, d), e), 1.0) for e in out_edges[u]]
+            terms += [(_f_key((s, d), e), -1.0) for e in in_edges[u]]
+            lp.add_le(terms, 0.0)
+        sink_terms = [(_f_key((s, d), e), -1.0) for e in in_edges[d]]
+        sink_terms.append(("F", demand[(s, d)]))
+        lp.add_le(sink_terms, 0.0)
+        for e in out_edges[d]:
+            lp.add_le([(_f_key((s, d), e), 1.0)], 0.0)
+    return lp
 
 
 def solve_link_mcf(topology: Topology, repair: bool = True,
@@ -78,51 +133,22 @@ def solve_link_mcf(topology: Topology, repair: bool = True,
 
     start = time.perf_counter()
     commodities = terminal_commodities(topology, terminals)
-    edges = topology.edges
-    caps = topology.capacities()
-    if demand is None:
-        demand = {c: 1.0 for c in commodities}
-
-    lp = LPBuilder()
-    f_key = lambda c, e: ("f", c, e)
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    for c in commodities:
-        for e in edges:
-            lp.add_variable(f_key(c, e), lb=0.0)
-
-    # (2) capacity per link.
-    for e in edges:
-        lp.add_le([(f_key(c, e), 1.0) for c in commodities], caps[e])
-
-    # (3) conservation (inequality form) at intermediate nodes,
-    # (4) demand at the sink.  The sink never re-emits its own commodity,
-    # otherwise circulation through the sink could satisfy (4) without
-    # delivering anything (the gross-inflow exploit the paper's
-    # post-processing step also guards against).
-    out_edges = {u: topology.out_edges(u) for u in topology.nodes}
-    in_edges = {u: topology.in_edges(u) for u in topology.nodes}
-    for s, d in commodities:
-        for u in topology.nodes:
-            if u == s or u == d:
-                continue
-            terms = [(f_key((s, d), e), 1.0) for e in out_edges[u]]
-            terms += [(f_key((s, d), e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
-        sink_terms = [(f_key((s, d), e), -1.0) for e in in_edges[d]]
-        sink_terms.append(("F", demand[(s, d)]))
-        lp.add_le(sink_terms, 0.0)
-        for e in out_edges[d]:
-            lp.add_le([(f_key((s, d), e), 1.0)], 0.0)
-
-    solution = lp.solve(maximize=True)
+    params: Dict[str, object] = {}
+    if demand is not None:
+        params["demand"] = demand
+    if terminals is not None:
+        params["terminals"] = sorted(set(int(t) for t in terminals))
+    problem = MCFProblem("mcf-link", topology, params=params, maximize=True)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
+    edges = topology.edges
     flows: Dict[Commodity, Dict[Edge, float]] = {}
     for c in commodities:
         per_edge = {}
         for e in edges:
-            val = solution.value(f_key(c, e))
-            if val > _FLOW_TOL:
+            val = solution.value(_f_key(c, e))
+            if val > FLOW_TOL:
                 per_edge[e] = val
         flows[c] = per_edge
 
@@ -131,8 +157,10 @@ def solve_link_mcf(topology: Topology, repair: bool = True,
         flows=flows,
         topology=topology,
         solve_seconds=elapsed,
-        meta={"method": "mcf-link", "num_variables": lp.num_variables,
-              "num_constraints": lp.num_constraints},
+        meta={"method": "mcf-link",
+              "num_variables": solution.info.get("num_variables"),
+              "num_constraints": solution.info.get("num_constraints"),
+              "engine": dict(solution.info)},
     )
     if repair:
         result = repair_conservation(result)

@@ -8,6 +8,9 @@ link formulation and yields the same optimum; in practice the path set is
 restricted (link-disjoint paths, shortest paths, or length-bounded paths) to
 keep the variable count polynomial, which is exactly the trade-off the paper
 evaluates in Fig. 8.
+
+The LP is assembled by the registered ``"mcf-path"`` formulation and solved
+through :func:`repro.engine.solve` (cached, pluggable backends).
 """
 
 from __future__ import annotations
@@ -16,12 +19,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..constants import FLOW_TOL
+from ..engine import MCFProblem, register_formulation
+from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
 from .flow import Commodity, FlowSolution, WeightedPath
 
 __all__ = ["PathSchedule", "solve_path_mcf", "path_schedule_from_single_paths"]
 
-_FLOW_TOL = 1e-9
+
+def _var(c, i):
+    """LP variable key of candidate path ``i`` of commodity ``c`` (shared
+    by the assembler and the result extractor)."""
+    return ("p", c, i)
 
 
 @dataclass
@@ -110,6 +120,40 @@ class PathSchedule:
                             meta=dict(self.meta))
 
 
+@register_formulation("mcf-path")
+def build_path_mcf(problem: MCFProblem):
+    """Assemble the pMCF LP (eqs. 21-24) from a problem spec."""
+    from .solver import LPBuilder
+
+    topology = problem.topology
+    path_sets = problem.params["path_sets"]
+    commodities = list(topology.commodities())
+    caps = topology.capacities()
+
+    lp = LPBuilder()
+    lp.add_variable("F", lb=0.0, objective=1.0)
+    # Pre-index which (commodity, path index) traverse each edge.
+    edge_users: Dict[Edge, List[Tuple[Commodity, int]]] = {e: [] for e in topology.edges}
+    for c in commodities:
+        for i, p in enumerate(path_sets[c]):
+            lp.add_variable(_var(c, i), lb=0.0)
+            for e in zip(p[:-1], p[1:]):
+                if e not in edge_users:
+                    raise ValueError(f"path {p} uses non-existent edge {e}")
+                edge_users[e].append((c, i))
+
+    # (22) link capacity.
+    for e, users in edge_users.items():
+        if users:
+            lp.add_le([(_var(c, i), 1.0) for c, i in users], caps[e])
+    # (23) concurrent demand.
+    for c in commodities:
+        terms = [(_var(c, i), -1.0) for i in range(len(path_sets[c]))]
+        terms.append(("F", 1.0))
+        lp.add_le(terms, 0.0)
+    return lp
+
+
 def solve_path_mcf(topology: Topology,
                    path_sets: Mapping[Commodity, Sequence[Sequence[int]]]) -> PathSchedule:
     """Solve pMCF over the given candidate path sets (eqs. 21-24).
@@ -126,11 +170,8 @@ def solve_path_mcf(topology: Topology,
         Optimal concurrent flow ``F`` restricted to the candidate paths, and
         the per-path weights.
     """
-    from .solver import LPBuilder
-
     start = time.perf_counter()
     commodities = list(topology.commodities())
-    caps = topology.capacities()
     for c in commodities:
         if c not in path_sets or not path_sets[c]:
             raise ValueError(f"no candidate paths supplied for commodity {c}")
@@ -138,44 +179,27 @@ def solve_path_mcf(topology: Topology,
             if p[0] != c[0] or p[-1] != c[1]:
                 raise ValueError(f"path {p} does not connect commodity {c}")
 
-    lp = LPBuilder()
-    var = lambda c, i: ("p", c, i)
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    # Pre-index which (commodity, path index) traverse each edge.
-    edge_users: Dict[Edge, List[Tuple[Commodity, int]]] = {e: [] for e in topology.edges}
-    for c in commodities:
-        for i, p in enumerate(path_sets[c]):
-            lp.add_variable(var(c, i), lb=0.0)
-            for e in zip(p[:-1], p[1:]):
-                if e not in edge_users:
-                    raise ValueError(f"path {p} uses non-existent edge {e}")
-                edge_users[e].append((c, i))
-
-    # (22) link capacity.
-    for e, users in edge_users.items():
-        if users:
-            lp.add_le([(var(c, i), 1.0) for c, i in users], caps[e])
-    # (23) concurrent demand.
-    for c in commodities:
-        terms = [(var(c, i), -1.0) for i in range(len(path_sets[c]))]
-        terms.append(("F", 1.0))
-        lp.add_le(terms, 0.0)
-
-    solution = lp.solve(maximize=True)
+    # Freeze the path sets so the problem params are canonically hashable and
+    # the assembler sees an immutable snapshot.
+    frozen = {c: tuple(tuple(int(n) for n in p) for p in path_sets[c])
+              for c in commodities}
+    problem = MCFProblem("mcf-path", topology, params={"path_sets": frozen},
+                         maximize=True)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
     paths: Dict[Commodity, List[WeightedPath]] = {}
     for c in commodities:
         plist = []
-        for i, p in enumerate(path_sets[c]):
-            w = solution.value(var(c, i))
-            if w > _FLOW_TOL:
-                plist.append(WeightedPath(nodes=tuple(p), weight=w))
+        for i, p in enumerate(frozen[c]):
+            w = solution.value(_var(c, i))
+            if w > FLOW_TOL:
+                plist.append(WeightedPath(nodes=p, weight=w))
         # Keep at least the best candidate even if the LP left the commodity
         # exactly at zero weight (degenerate F=0 cases cannot happen on
         # strongly connected graphs, but guard anyway).
         if not plist:
-            plist = [WeightedPath(nodes=tuple(path_sets[c][0]), weight=0.0)]
+            plist = [WeightedPath(nodes=frozen[c][0], weight=0.0)]
         paths[c] = plist
 
     return PathSchedule(
@@ -183,8 +207,10 @@ def solve_path_mcf(topology: Topology,
         paths=paths,
         topology=topology,
         solve_seconds=elapsed,
-        meta={"method": "pmcf", "num_variables": lp.num_variables,
-              "num_constraints": lp.num_constraints},
+        meta={"method": "pmcf",
+              "num_variables": solution.info.get("num_variables"),
+              "num_constraints": solution.info.get("num_constraints"),
+              "engine": dict(solution.info)},
     )
 
 

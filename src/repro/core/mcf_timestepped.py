@@ -16,6 +16,9 @@ The total ``sum_t U_t`` of an optimal solution equals the optimal all-to-all
 time ``1/F`` of the steady-state MCF whenever ``l_max`` is large enough, so the
 time-stepped schedule loses nothing asymptotically while being executable in
 synchronized steps.
+
+The LP is assembled by the registered ``"tsmcf"`` formulation and solved
+through :func:`repro.engine.solve` (cached, pluggable backends).
 """
 
 from __future__ import annotations
@@ -24,13 +27,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..constants import FLOW_TOL
+from ..engine import MCFProblem, register_formulation
+from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
 from .flow import Commodity
 from .solver import LPBuilder
 
 __all__ = ["TimeSteppedFlow", "solve_timestepped_mcf"]
 
-_FLOW_TOL = 1e-9
+
+def _f_key(c, e, t):
+    """LP variable key: flow of commodity ``c`` on edge ``e`` at step ``t``."""
+    return ("f", c, e, t)
+
+
+def _u_key(t):
+    """LP variable key: max link utilization of step ``t``."""
+    return ("U", t)
 
 
 @dataclass
@@ -69,7 +83,7 @@ class TimeSteppedFlow:
         for c, per in self.flows.items():
             step: Dict[Edge, float] = {}
             for (u, v, tt), val in per.items():
-                if tt == t and val > _FLOW_TOL:
+                if tt == t and val > FLOW_TOL:
                     step[(u, v)] = step.get((u, v), 0.0) + val
             if step:
                 out[c] = step
@@ -90,6 +104,67 @@ class TimeSteppedFlow:
                 if tt == t:
                     loads[(u, v)] = loads.get((u, v), 0.0) + val
         return loads
+
+
+@register_formulation("tsmcf")
+def build_timestepped_mcf(problem: MCFProblem) -> LPBuilder:
+    """Assemble the time-stepped MCF LP (eqs. 15-20) from a problem spec."""
+    from .mcf_link import terminal_commodities
+
+    topology = problem.topology
+    num_steps = problem.params["num_steps"]
+    terminals = problem.params.get("terminals")
+    commodities = terminal_commodities(topology, terminals)
+    edges = topology.edges
+    caps = topology.capacities()
+    nodes = topology.nodes
+    steps = list(range(1, num_steps + 1))
+
+    lp = LPBuilder()
+    for t in steps:
+        lp.add_variable(_u_key(t), lb=0.0, objective=1.0)
+    for c in commodities:
+        for e in edges:
+            for t in steps:
+                lp.add_variable(_f_key(c, e, t), lb=0.0, ub=1.0)
+
+    # (16): per-step utilization bound, scaled by capacity so that a link of
+    # capacity cap can carry cap * U_t per step.
+    for e in edges:
+        for t in steps:
+            terms = [(_f_key(c, e, t), 1.0) for c in commodities]
+            terms.append((_u_key(t), -caps[e]))
+            lp.add_le(terms, 0.0)
+
+    out_edges = {u: topology.out_edges(u) for u in nodes}
+    in_edges = {u: topology.in_edges(u) for u in nodes}
+
+    for s, d in commodities:
+        c = (s, d)
+        for u in nodes:
+            if u == s or u == d:
+                continue
+            # (17): cumulative store-and-forward causality for t > 1, plus the
+            # t = 1 special case (nothing received before step 1, so nothing
+            # can be forwarded in step 1).
+            for t in steps:
+                terms = [(_f_key(c, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
+                terms += [(_f_key(c, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
+                lp.add_le(terms, 0.0)
+            # (18): nothing retained at intermediate nodes at the end.
+            eq_terms = [(_f_key(c, e, t), 1.0) for e in out_edges[u] for t in steps]
+            eq_terms += [(_f_key(c, e, t), -1.0) for e in in_edges[u] for t in steps]
+            lp.add_eq(eq_terms, 0.0)
+        # (19): source sends exactly 1; destination receives exactly 1.
+        lp.add_eq([(_f_key(c, e, t), 1.0) for e in out_edges[s] for t in steps], 1.0)
+        lp.add_eq([(_f_key(c, e, t), 1.0) for e in in_edges[d] for t in steps], 1.0)
+        # Destination never re-emits and source never re-absorbs its own shard.
+        for t in steps:
+            for e in out_edges[d]:
+                lp.add_le([(_f_key(c, e, t), 1.0)], 0.0)
+            for e in in_edges[s]:
+                lp.add_le([(_f_key(c, e, t), 1.0)], 0.0)
+    return lp
 
 
 def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
@@ -128,58 +203,13 @@ def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
     start = time.perf_counter()
     commodities = terminal_commodities(topology, terminals)
     edges = topology.edges
-    caps = topology.capacities()
-    nodes = topology.nodes
     steps = list(range(1, num_steps + 1))
 
-    lp = LPBuilder()
-    f_key = lambda c, e, t: ("f", c, e, t)
-    u_key = lambda t: ("U", t)
-    for t in steps:
-        lp.add_variable(u_key(t), lb=0.0, objective=1.0)
-    for c in commodities:
-        for e in edges:
-            for t in steps:
-                lp.add_variable(f_key(c, e, t), lb=0.0, ub=1.0)
-
-    # (16): per-step utilization bound, scaled by capacity so that a link of
-    # capacity cap can carry cap * U_t per step.
-    for e in edges:
-        for t in steps:
-            terms = [(f_key(c, e, t), 1.0) for c in commodities]
-            terms.append((u_key(t), -caps[e]))
-            lp.add_le(terms, 0.0)
-
-    out_edges = {u: topology.out_edges(u) for u in nodes}
-    in_edges = {u: topology.in_edges(u) for u in nodes}
-
-    for s, d in commodities:
-        c = (s, d)
-        for u in nodes:
-            if u == s or u == d:
-                continue
-            # (17): cumulative store-and-forward causality for t > 1, plus the
-            # t = 1 special case (nothing received before step 1, so nothing
-            # can be forwarded in step 1).
-            for t in steps:
-                terms = [(f_key(c, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
-                terms += [(f_key(c, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
-                lp.add_le(terms, 0.0)
-            # (18): nothing retained at intermediate nodes at the end.
-            eq_terms = [(f_key(c, e, t), 1.0) for e in out_edges[u] for t in steps]
-            eq_terms += [(f_key(c, e, t), -1.0) for e in in_edges[u] for t in steps]
-            lp.add_eq(eq_terms, 0.0)
-        # (19): source sends exactly 1; destination receives exactly 1.
-        lp.add_eq([(f_key(c, e, t), 1.0) for e in out_edges[s] for t in steps], 1.0)
-        lp.add_eq([(f_key(c, e, t), 1.0) for e in in_edges[d] for t in steps], 1.0)
-        # Destination never re-emits and source never re-absorbs its own shard.
-        for t in steps:
-            for e in out_edges[d]:
-                lp.add_le([(f_key(c, e, t), 1.0)], 0.0)
-            for e in in_edges[s]:
-                lp.add_le([(f_key(c, e, t), 1.0)], 0.0)
-
-    solution = lp.solve(maximize=False)
+    params: Dict[str, object] = {"num_steps": int(num_steps)}
+    if terminals is not None:
+        params["terminals"] = sorted(set(int(t) for t in terminals))
+    problem = MCFProblem("tsmcf", topology, params=params, maximize=False)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
     flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
@@ -187,11 +217,11 @@ def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
         per: Dict[Tuple[int, int, int], float] = {}
         for e in edges:
             for t in steps:
-                val = solution.value(f_key(c, e, t))
-                if val > _FLOW_TOL:
+                val = solution.value(_f_key(c, e, t))
+                if val > FLOW_TOL:
                     per[(e[0], e[1], t)] = val
         flows[c] = per
-    utilizations = [max(solution.value(u_key(t)), 0.0) for t in steps]
+    utilizations = [max(solution.value(_u_key(t)), 0.0) for t in steps]
 
     return TimeSteppedFlow(
         num_steps=num_steps,
@@ -199,7 +229,10 @@ def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
         step_utilizations=utilizations,
         topology=topology,
         solve_seconds=elapsed,
-        meta={"method": "tsmcf", "num_variables": lp.num_variables,
-              "num_constraints": lp.num_constraints, "diameter": diam,
-              "terminals": None if terminals is None else sorted(set(terminals))},
+        meta={"method": "tsmcf",
+              "num_variables": solution.info.get("num_variables"),
+              "num_constraints": solution.info.get("num_constraints"),
+              "diameter": diam,
+              "terminals": None if terminals is None else sorted(set(terminals)),
+              "engine": dict(solution.info)},
     )

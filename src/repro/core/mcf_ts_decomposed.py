@@ -27,6 +27,11 @@ steady-state child LP of §3.1.2, plus the causality constraints.
 The decomposition preserves the optimal ``sum_t U_t`` (the grouped flow is an
 aggregation of any per-commodity solution, and any grouped solution splits by
 per-source flow decomposition on the time-expanded DAG).
+
+Master and children are registered engine formulations (``"tsmcf-master"`` /
+``"tsmcf-child"``) solved through :func:`repro.engine.solve`; the independent
+child LPs run through the shared :class:`~repro.engine.runner.ParallelRunner`
+(``n_jobs``).
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..constants import FLOW_TOL
+from ..engine import MCFProblem, ParallelRunner, register_formulation
+from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
 from .flow import Commodity
 from .mcf_link import terminal_commodities
@@ -42,17 +50,30 @@ from .solver import LPBuilder
 
 __all__ = ["solve_timestepped_mcf_decomposed"]
 
-_FLOW_TOL = 1e-9
+
+def _g_key(s, e, t):
+    """Master-LP key: grouped flow of source ``s`` on edge ``e`` at step ``t``."""
+    return ("g", s, e, t)
 
 
-def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
-                     terminal_set: set) -> Tuple[float, Dict[int, Dict[Tuple[int, int, int], float]], List[float], float]:
-    """Source-grouped time-stepped master LP.
+def _u_key(t):
+    """Master-LP key: max link utilization of step ``t``."""
+    return ("U", t)
 
-    Returns (total utilization, grouped flows per source, per-step utilizations,
-    solve seconds).
-    """
-    start = time.perf_counter()
+
+def _f_key(d, k):
+    """Child-LP key: flow to destination ``d`` on (edge, step) triple ``k``."""
+    return ("f", d, k)
+
+
+@register_formulation("tsmcf-master")
+def build_ts_master(problem: MCFProblem) -> LPBuilder:
+    """Assemble the source-grouped time-stepped master LP."""
+    topology = problem.topology
+    steps = list(problem.params["steps"])
+    sources = list(problem.params["sources"])
+    terminal_set = set(problem.params["terminal_set"])
+
     edges = topology.edges
     caps = topology.capacities()
     nodes = topology.nodes
@@ -60,20 +81,18 @@ def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
     in_edges = {u: topology.in_edges(u) for u in nodes}
 
     lp = LPBuilder()
-    g_key = lambda s, e, t: ("g", s, e, t)
-    u_key = lambda t: ("U", t)
     for t in steps:
-        lp.add_variable(u_key(t), lb=0.0, objective=1.0)
+        lp.add_variable(_u_key(t), lb=0.0, objective=1.0)
     for s in sources:
         for e in edges:
             for t in steps:
-                lp.add_variable(g_key(s, e, t), lb=0.0)
+                lp.add_variable(_g_key(s, e, t), lb=0.0)
 
     # Per-step utilization bound.
     for e in edges:
         for t in steps:
-            terms = [(g_key(s, e, t), 1.0) for s in sources]
-            terms.append((u_key(t), -caps[e]))
+            terms = [(_g_key(s, e, t), 1.0) for s in sources]
+            terms.append((_u_key(t), -caps[e]))
             lp.add_le(terms, 0.0)
 
     for s in sources:
@@ -84,55 +103,75 @@ def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
             # Causality: cumulative forwarded <= cumulative received (strictly
             # earlier steps).  Data kept for sinking simply stays in the buffer.
             for t in steps:
-                terms = [(g_key(s, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
-                terms += [(g_key(s, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
+                terms = [(_g_key(s, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
+                terms += [(_g_key(s, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
                 lp.add_le(terms, 0.0)
             # Net retention at the end: 1 shard for terminals, 0 for relays.
             retained = 1.0 if u in terminal_set else 0.0
-            eq_terms = [(g_key(s, e, t), 1.0) for e in in_edges[u] for t in steps]
-            eq_terms += [(g_key(s, e, t), -1.0) for e in out_edges[u] for t in steps]
+            eq_terms = [(_g_key(s, e, t), 1.0) for e in in_edges[u] for t in steps]
+            eq_terms += [(_g_key(s, e, t), -1.0) for e in out_edges[u] for t in steps]
             lp.add_eq(eq_terms, retained)
         # Source injects exactly one shard per destination and never re-absorbs.
-        lp.add_eq([(g_key(s, e, t), 1.0) for e in out_edges[s] for t in steps],
+        lp.add_eq([(_g_key(s, e, t), 1.0) for e in out_edges[s] for t in steps],
                   float(len(group_sinks)))
         for e in in_edges[s]:
             for t in steps:
-                lp.add_le([(g_key(s, e, t), 1.0)], 0.0)
+                lp.add_le([(_g_key(s, e, t), 1.0)], 0.0)
+    return lp
 
-    solution = lp.solve(maximize=False)
+
+def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
+                     terminal_set: set) -> Tuple[float, Dict[int, Dict[Tuple[int, int, int], float]], List[float], float]:
+    """Source-grouped time-stepped master LP.
+
+    Returns (total utilization, grouped flows per source, per-step utilizations,
+    solve seconds).
+    """
+    start = time.perf_counter()
+    problem = MCFProblem(
+        "tsmcf-master", topology,
+        params={"steps": list(steps), "sources": sorted(sources),
+                "terminal_set": sorted(terminal_set)},
+        maximize=False)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
+
+    edges = topology.edges
     grouped: Dict[int, Dict[Tuple[int, int, int], float]] = {}
     for s in sources:
         per: Dict[Tuple[int, int, int], float] = {}
         for e in edges:
             for t in steps:
-                val = solution.value(g_key(s, e, t))
-                if val > _FLOW_TOL:
+                val = solution.value(_g_key(s, e, t))
+                if val > FLOW_TOL:
                     per[(e[0], e[1], t)] = val
         grouped[s] = per
-    utilizations = [max(solution.value(u_key(t)), 0.0) for t in steps]
+    utilizations = [max(solution.value(_u_key(t)), 0.0) for t in steps]
     return float(sum(utilizations)), grouped, utilizations, elapsed
 
 
-def _solve_ts_child(topology: Topology, source: int, destinations: List[int],
-                    grouped: Dict[Tuple[int, int, int], float],
-                    steps: List[int]) -> Tuple[Dict[Commodity, Dict[Tuple[int, int, int], float]], float]:
-    """Split one source's grouped time-stepped flow into per-destination flows."""
-    start = time.perf_counter()
+@register_formulation("tsmcf-child")
+def build_ts_child(problem: MCFProblem) -> LPBuilder:
+    """Assemble the per-source time-stepped child LP."""
+    topology = problem.topology
+    source = problem.params["source"]
+    destinations = list(problem.params["destinations"])
+    grouped = dict(problem.params["grouped"])
+    steps = list(problem.params["steps"])
+
     nodes = topology.nodes
     used = sorted(grouped.keys())            # (u, v, t) triples with positive flow
     out_used = {u: [k for k in used if k[0] == u] for u in nodes}
     in_used = {u: [k for k in used if k[1] == u] for u in nodes}
 
     lp = LPBuilder()
-    f_key = lambda d, k: ("f", d, k)
     for d in destinations:
         for k in used:
-            lp.add_variable(f_key(d, k), lb=0.0, objective=1.0)
+            lp.add_variable(_f_key(d, k), lb=0.0, objective=1.0)
 
     # Grouped flow acts as per-(link, step) capacity.
     for k in used:
-        lp.add_le([(f_key(d, k), 1.0) for d in destinations], grouped[k])
+        lp.add_le([(_f_key(d, k), 1.0) for d in destinations], grouped[k])
 
     for d in destinations:
         for u in nodes:
@@ -140,40 +179,63 @@ def _solve_ts_child(topology: Topology, source: int, destinations: List[int],
                 continue
             # Causality per destination.
             for t in steps:
-                terms = [(f_key(d, k), 1.0) for k in out_used[u] if k[2] <= t]
-                terms += [(f_key(d, k), -1.0) for k in in_used[u] if k[2] < t]
+                terms = [(_f_key(d, k), 1.0) for k in out_used[u] if k[2] <= t]
+                terms += [(_f_key(d, k), -1.0) for k in in_used[u] if k[2] < t]
                 lp.add_le(terms, 0.0)
             # Relays retain nothing of this shard.
-            eq = [(f_key(d, k), 1.0) for k in out_used[u]]
-            eq += [(f_key(d, k), -1.0) for k in in_used[u]]
+            eq = [(_f_key(d, k), 1.0) for k in out_used[u]]
+            eq += [(_f_key(d, k), -1.0) for k in in_used[u]]
             lp.add_eq(eq, 0.0)
         # The destination receives exactly one shard and never re-emits it.
-        lp.add_ge([(f_key(d, k), 1.0) for k in in_used[d]], 1.0 - 1e-7)
+        lp.add_ge([(_f_key(d, k), 1.0) for k in in_used[d]], 1.0 - 1e-7)
         for k in out_used[d]:
-            lp.add_le([(f_key(d, k), 1.0)], 0.0)
+            lp.add_le([(_f_key(d, k), 1.0)], 0.0)
+    return lp
 
-    solution = lp.solve(maximize=False)
+
+def _solve_ts_child(topology: Topology, source: int, destinations: List[int],
+                    grouped: Dict[Tuple[int, int, int], float],
+                    steps: List[int]) -> Tuple[Dict[Commodity, Dict[Tuple[int, int, int], float]], float]:
+    """Split one source's grouped time-stepped flow into per-destination flows."""
+    start = time.perf_counter()
+    used = sorted(grouped.keys())
+    problem = MCFProblem(
+        "tsmcf-child", topology,
+        params={"source": int(source), "destinations": sorted(destinations),
+                "grouped": {k: float(v) for k, v in sorted(grouped.items())},
+                "steps": list(steps)},
+        maximize=False)
+    solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
+
     flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
     for d in destinations:
         per: Dict[Tuple[int, int, int], float] = {}
         for k in used:
-            val = solution.value(f_key(d, k))
-            if val > _FLOW_TOL:
+            val = solution.value(_f_key(d, k))
+            if val > FLOW_TOL:
                 per[k] = val
         flows[(source, d)] = per
     return flows, elapsed
 
 
+def _ts_child_worker(args) -> Tuple[int, Dict[Commodity, Dict[Tuple[int, int, int], float]], float]:
+    topology, source, destinations, grouped, steps = args
+    flows, elapsed = _solve_ts_child(topology, source, destinations, grouped, steps)
+    return source, flows, elapsed
+
+
 def solve_timestepped_mcf_decomposed(topology: Topology, num_steps: Optional[int] = None,
                                      extra_steps: int = 1,
-                                     terminals: Optional[List[int]] = None) -> TimeSteppedFlow:
+                                     terminals: Optional[List[int]] = None,
+                                     n_jobs: int = 1) -> TimeSteppedFlow:
     """Decomposed tsMCF: source-grouped master LP + per-source child LPs.
 
     Same interface and semantics as
     :func:`repro.core.mcf_timestepped.solve_timestepped_mcf`; the meta dict
     records the master/child timing breakdown (keys ``master_seconds`` and
-    ``child_seconds_each``).
+    ``child_seconds_each``).  ``n_jobs > 1`` runs the independent child LPs
+    on a process pool.
     """
     if not topology.is_strongly_connected():
         raise ValueError("tsMCF requires a strongly connected topology")
@@ -192,11 +254,12 @@ def solve_timestepped_mcf_decomposed(topology: Topology, num_steps: Optional[int
     total_util, grouped, utilizations, master_seconds = _solve_ts_master(
         topology, steps, sources, terminal_set)
 
+    args = [(topology, s, sorted({d for src, d in commodities if src == s}),
+             grouped[s], steps) for s in sources]
+    runner = ParallelRunner(jobs=n_jobs, mode="process")
     flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
     child_seconds: List[float] = []
-    for s in sources:
-        destinations = sorted({d for src, d in commodities if src == s})
-        child_flows, elapsed = _solve_ts_child(topology, s, destinations, grouped[s], steps)
+    for s, child_flows, elapsed in runner.map(_ts_child_worker, args):
         flows.update(child_flows)
         child_seconds.append(elapsed)
 

@@ -26,6 +26,7 @@ from ..topology.base import Topology
 from .bottleneck import augment_host_nic_bottleneck
 from .mcf_path import PathSchedule, solve_path_mcf
 from .mcf_timestepped import TimeSteppedFlow, solve_timestepped_mcf
+from .mcf_ts_decomposed import solve_timestepped_mcf_decomposed
 from .path_extraction import solve_mcf_extract_paths
 
 __all__ = ["ForwardingModel", "SchedulingRequest", "generate_schedule",
@@ -62,7 +63,12 @@ class SchedulingRequest:
     max_disjoint_paths:
         Cap on the number of link-disjoint candidate paths per commodity.
     n_jobs:
-        Worker processes for the decomposed MCF child LPs.
+        Worker processes for the decomposed MCF (and decomposed tsMCF)
+        child LPs, executed through the engine's ParallelRunner.
+    decompose_ts:
+        If True, HOST-forwarding schedules use the decomposed time-stepped
+        MCF (master + per-source child LPs, parallelizable with ``n_jobs``)
+        instead of the monolithic tsMCF.  Same optimum; scales to larger N.
     """
 
     forwarding: ForwardingModel = ForwardingModel.NIC
@@ -72,6 +78,7 @@ class SchedulingRequest:
     path_diversity_threshold: float = 4.0
     max_disjoint_paths: Optional[int] = None
     n_jobs: int = 1
+    decompose_ts: bool = False
 
 
 def estimate_path_diversity(topology: Topology, sample: int = 64, seed: int = 0) -> float:
@@ -107,6 +114,11 @@ def generate_schedule(topology: Topology,
     request = request or SchedulingRequest()
 
     if request.forwarding == ForwardingModel.HOST:
+        if request.decompose_ts:
+            ts_solve = lambda topo, **kw: solve_timestepped_mcf_decomposed(
+                topo, n_jobs=request.n_jobs, **kw)
+        else:
+            ts_solve = solve_timestepped_mcf
         work_topology = topology
         aggregate = max(
             sum(topology.capacity(*e) for e in topology.out_edges(u)) for u in topology.nodes
@@ -115,12 +127,12 @@ def generate_schedule(topology: Topology,
             aug = augment_host_nic_bottleneck(topology, request.host_bandwidth,
                                               request.link_bandwidth)
             work_topology = aug.topology
-            flow = solve_timestepped_mcf(work_topology, num_steps=request.num_steps,
-                                         terminals=list(aug.host_nodes()))
+            flow = ts_solve(work_topology, num_steps=request.num_steps,
+                            terminals=list(aug.host_nodes()))
             flow.meta["augmented"] = True
             flow.meta["num_hosts"] = aug.num_hosts
             return flow
-        return solve_timestepped_mcf(work_topology, num_steps=request.num_steps)
+        return ts_solve(work_topology, num_steps=request.num_steps)
 
     # NIC forwarding: path-based schedules.
     diversity = estimate_path_diversity(topology)

@@ -1,11 +1,11 @@
-"""Sparse LP construction helpers and the HiGHS solver wrapper.
+"""Sparse LP construction helpers.
 
 All MCF variants in :mod:`repro.core` are assembled as sparse constraint
-matrices and solved by the HiGHS solver exposed through
-:func:`scipy.optimize.linprog`.  The paper uses MOSEK; the LP optima are solver
-independent, so HiGHS preserves every result that depends on optimal values
-(only absolute solve times differ, and Fig. 7 is about *scaling*, which is
-preserved).
+matrices.  Solving is delegated to a :mod:`repro.engine.backends` backend
+(HiGHS via :func:`scipy.optimize.linprog` by default).  The paper uses MOSEK;
+the LP optima are solver independent, so HiGHS preserves every result that
+depends on optimal values (only absolute solve times differ, and Fig. 7 is
+about *scaling*, which is preserved).
 
 The :class:`LPBuilder` accumulates constraints row by row in COO form, which
 keeps construction vectorizable and avoids densifying what are extremely
@@ -20,7 +20,6 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.optimize import linprog
 
 __all__ = ["VariableIndex", "LPBuilder", "LPSolution", "SolverError"]
 
@@ -74,12 +73,18 @@ class LPSolution:
     values:
         Mapping from variable key to optimal value.
     raw:
-        The raw :class:`scipy.optimize.OptimizeResult`.
+        The raw :class:`scipy.optimize.OptimizeResult` (None for solutions
+        served from the cache, which strips it on store).
+    info:
+        Engine bookkeeping attached by :meth:`repro.engine.Engine.solve`:
+        cache status (``hit`` / ``miss`` / ``bypass``), backend name and LP
+        dimensions.  Empty when the builder is solved directly.
     """
 
     objective: float
     values: Dict[Hashable, float]
     raw: object = None
+    info: Dict[str, object] = field(default_factory=dict)
 
     def value(self, key: Hashable, default: float = 0.0) -> float:
         """Optimal value of a variable (0.0 for unregistered keys)."""
@@ -174,22 +179,17 @@ class LPBuilder:
     def num_constraints(self) -> int:
         return len(self._ub_rhs) + len(self._eq_rhs)
 
-    def solve(self, maximize: bool = False, method: str = "highs") -> LPSolution:
-        """Solve the accumulated LP and return an :class:`LPSolution`.
+    def to_arrays(self):
+        """Assemble the LP into scipy-ready arrays.
 
-        Raises
-        ------
-        SolverError
-            If the solver reports anything other than success.
+        Returns ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` with the objective in
+        *minimization* sense (backends negate for maximization) and the
+        constraint matrices in CSR form (None when a block is empty).
         """
         n = self.num_variables
-        if n == 0:
-            return LPSolution(objective=0.0, values={}, raw=None)
         c = np.zeros(n)
         for idx, coeff in self._objective.items():
             c[idx] = coeff
-        if maximize:
-            c = -c
 
         a_ub = b_ub = a_eq = b_eq = None
         if self._ub_rhs:
@@ -207,12 +207,25 @@ class LPBuilder:
 
         bounds = [(self._lb.get(i, 0.0), None if np.isinf(self._ub.get(i, np.inf))
                    else self._ub.get(i)) for i in range(n)]
-        result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
-                         bounds=bounds, method=method)
-        if not result.success:
-            raise SolverError(f"LP solve failed: {result.message}")
-        objective = float(result.fun)
-        if maximize:
-            objective = -objective
-        values = {key: float(result.x[self.variables[key]]) for key in self.variables.keys()}
-        return LPSolution(objective=objective, values=values, raw=result)
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def solve(self, maximize: bool = False, method: str = "highs") -> LPSolution:
+        """Solve the accumulated LP through a registered engine backend.
+
+        Kept for direct LP construction (tests, baselines); the MCF
+        formulations go through :func:`repro.engine.solve` instead, which
+        adds caching on top of the same backends.
+
+        Raises
+        ------
+        SolverError
+            If the solver reports anything other than success.
+        """
+        from ..engine.backends import ScipyHighsBackend, backend_names, get_backend
+
+        name = f"scipy-{method}"
+        if name in backend_names():
+            backend = get_backend(name)
+        else:
+            backend = ScipyHighsBackend(name, method=method)
+        return backend.solve(self, maximize=maximize)

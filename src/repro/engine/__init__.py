@@ -1,0 +1,53 @@
+"""Unified solve engine: problems, backends, solution cache, execution.
+
+Layering (each layer only knows the one below it):
+
+* **Problem** (:mod:`.problem`) — declarative :class:`MCFProblem` specs plus
+  the formulation registry the MCF modules register their LP assemblers in;
+* **Backend** (:mod:`.backends`) — pluggable :class:`SolveBackend`
+  implementations (scipy/HiGHS variants ship by default);
+* **Cache** (:mod:`.cache`) — content-addressed :class:`SolutionCache`
+  keyed by ``(topology.canonical_hash(), formulation, params)``;
+* **Execution** (:mod:`.runner`) — :class:`ParallelRunner`, the shared
+  serial/thread/process map used by sweeps, child LPs and benchmarks.
+
+``engine.solve(problem)`` on the process-wide default engine is the one
+entry point every formulation routes through.
+"""
+
+from .backends import (
+    ScipyHighsBackend,
+    SolveBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .cache import SolutionCache
+from .core import Engine, configure, get_engine, reset_engine, solve
+from .problem import (
+    MCFProblem,
+    formulation_names,
+    get_formulation,
+    register_formulation,
+)
+from .runner import ParallelRunner, run_parallel
+
+__all__ = [
+    "ScipyHighsBackend",
+    "SolveBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "SolutionCache",
+    "Engine",
+    "configure",
+    "get_engine",
+    "reset_engine",
+    "solve",
+    "MCFProblem",
+    "formulation_names",
+    "get_formulation",
+    "register_formulation",
+    "ParallelRunner",
+    "run_parallel",
+]

@@ -1,0 +1,125 @@
+"""The solve engine: formulation assembly + backend dispatch + caching.
+
+``engine.solve(problem)`` is the single entry point every MCF formulation
+routes through.  The engine
+
+1. computes the problem's content-addressed cache key,
+2. returns the cached :class:`LPSolution` on a hit,
+3. otherwise assembles the LP via the registered formulation, solves it with
+   the selected backend, and stores the result.
+
+Each returned solution carries an ``info`` dict (cache status, backend name,
+LP dimensions, cache key prefix) that formulations surface in
+``FlowSolution.meta["engine"]``.
+
+A process-wide default engine is created lazily; :func:`configure` swaps its
+backend, toggles caching, or attaches an on-disk cache directory.  The
+``REPRO_CACHE_DIR`` environment variable seeds the disk tier and
+``REPRO_SOLVE_BACKEND`` the default backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import replace
+from typing import Optional, TYPE_CHECKING
+
+from .backends import get_backend
+from .cache import SolutionCache
+from .problem import MCFProblem, get_formulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.solver import LPSolution
+
+__all__ = ["Engine", "get_engine", "configure", "solve", "reset_engine"]
+
+
+class Engine:
+    """Solves :class:`MCFProblem` specs through pluggable backends + cache."""
+
+    def __init__(self, backend: str = "scipy-highs",
+                 cache: Optional[SolutionCache] = None) -> None:
+        get_backend(backend)  # fail fast on unknown names
+        self.backend_name = backend
+        self.cache = cache if cache is not None else SolutionCache()
+
+    def solve(self, problem: MCFProblem, backend: Optional[str] = None,
+              use_cache: bool = True) -> "LPSolution":
+        """Solve ``problem``, consulting the cache unless ``use_cache=False``.
+
+        The cache key includes the backend: different backends may return
+        different (equally optimal) vertex/interior solutions, so a solution
+        cached under one backend must never answer for another.
+        """
+        backend_name = backend or self.backend_name
+        key = f"{problem.cache_key()}-{backend_name}"
+        caching = use_cache and self.cache.enabled
+        if caching:
+            cached = self.cache.get(key)
+            if cached is not None:
+                info = dict(cached.info)
+                info["cache"] = "hit"
+                return replace(cached, info=info)
+        assembler = get_formulation(problem.formulation)
+        builder = assembler(problem)
+        solution = get_backend(backend_name).solve(builder, maximize=problem.maximize)
+        solution.info = {
+            "cache": "miss" if caching else "bypass",
+            "backend": backend_name,
+            "key": key[:16],
+            "num_variables": builder.num_variables,
+            "num_constraints": builder.num_constraints,
+        }
+        if caching:
+            self.cache.put(key, solution)
+        return solution
+
+    def stats(self) -> dict:
+        """Engine-level counter snapshot (cache counters + backend name)."""
+        return {"backend": self.backend_name, **self.cache.stats()}
+
+
+_engine: Optional[Engine] = None
+_engine_lock = threading.Lock()
+
+
+def get_engine() -> Engine:
+    """The process-wide default engine (created lazily)."""
+    global _engine
+    if _engine is None:
+        with _engine_lock:
+            if _engine is None:
+                _engine = Engine(
+                    backend=os.environ.get("REPRO_SOLVE_BACKEND", "scipy-highs"),
+                    cache=SolutionCache(cache_dir=os.environ.get("REPRO_CACHE_DIR")),
+                )
+    return _engine
+
+
+def configure(backend: Optional[str] = None, cache_dir: Optional[str] = None,
+              cache_enabled: Optional[bool] = None) -> Engine:
+    """Reconfigure the default engine in place and return it."""
+    engine = get_engine()
+    if backend is not None:
+        get_backend(backend)
+        engine.backend_name = backend
+    if cache_dir is not None:
+        engine.cache = SolutionCache(cache_dir=cache_dir,
+                                     enabled=engine.cache.enabled)
+    if cache_enabled is not None:
+        engine.cache.enabled = cache_enabled
+    return engine
+
+
+def reset_engine() -> None:
+    """Drop the default engine (next :func:`get_engine` builds a fresh one)."""
+    global _engine
+    with _engine_lock:
+        _engine = None
+
+
+def solve(problem: MCFProblem, backend: Optional[str] = None,
+          use_cache: bool = True) -> "LPSolution":
+    """Solve through the default engine (the formulation-facing entry point)."""
+    return get_engine().solve(problem, backend=backend, use_cache=use_cache)

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..constants import SCHEDULE_TOL
 from ..core.flow import Commodity
 from .ir import LinkSchedule, RoutedSchedule
 
 __all__ = ["validate_link_schedule", "validate_routed_schedule", "ScheduleValidationError"]
-
-_TOL = 1e-6
 
 
 class ScheduleValidationError(ValueError):
@@ -90,7 +89,7 @@ def validate_link_schedule(schedule: LinkSchedule, strict_causality: bool = True
 
     for (s, d), per_node in holdings.items():
         covered = _covered(per_node[d])
-        if covered < 1.0 - _TOL:
+        if covered < 1.0 - SCHEDULE_TOL:
             raise ScheduleValidationError(
                 f"shard ({s},{d}) only {covered:.6f} delivered to destination {d}")
 
@@ -147,7 +146,7 @@ def validate_routed_schedule(schedule: RoutedSchedule) -> None:
     for c, intervals in per_commodity.items():
         total = sum(hi - lo for lo, hi in intervals)
         covered = _covered(intervals)
-        if covered < 1.0 - _TOL:
+        if covered < 1.0 - SCHEDULE_TOL:
             raise ScheduleValidationError(f"commodity {c} shard not fully covered ({covered:.6f})")
-        if total > covered + _TOL:
+        if total > covered + SCHEDULE_TOL:
             raise ScheduleValidationError(f"commodity {c} has overlapping chunks")

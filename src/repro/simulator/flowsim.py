@@ -26,11 +26,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..topology.base import Edge, Topology
+from ..constants import SIM_EPS
 from .fabric import FabricModel
 
 __all__ = ["FluidFlow", "FlowSimResult", "simulate_flows"]
-
-_EPS = 1e-12
 
 
 @dataclass
@@ -123,7 +122,7 @@ def _max_min_rates(flows: Sequence[FluidFlow], active: List[int],
             if count == 0:
                 continue
             share = cap / count
-            if best_share is None or share < best_share - _EPS:
+            if best_share is None or share < best_share - SIM_EPS:
                 best_share = share
                 best_res = res
         if best_res is None:
@@ -160,10 +159,10 @@ def simulate_flows(topology: Topology, flows: Sequence[FluidFlow],
                    for f in flows]
     remaining = [float(f.size_bytes) for f in flows]
     completion = [0.0] * n
-    active = [i for i in range(n) if remaining[i] > _EPS]
+    active = [i for i in range(n) if remaining[i] > SIM_EPS]
     # Zero-byte flows complete after their latency alone.
     for i in range(n):
-        if remaining[i] <= _EPS:
+        if remaining[i] <= SIM_EPS:
             completion[i] = start_delay[i]
 
     now = 0.0
@@ -174,7 +173,7 @@ def simulate_flows(topology: Topology, flows: Sequence[FluidFlow],
             raise RuntimeError("fluid simulation did not converge")
         rates = _max_min_rates(flows, active, remaining, topology, fabric)
         # Time until the next flow finishes at current rates.
-        dt = min(remaining[i] / rates[i] for i in active if rates[i] > _EPS)
+        dt = min(remaining[i] / rates[i] for i in active if rates[i] > SIM_EPS)
         now += dt
         still_active = []
         for i in active:

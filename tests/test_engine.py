@@ -1,0 +1,235 @@
+"""Tests for the unified solve engine: problems, backends, cache, runner."""
+
+import pytest
+
+from repro.analysis import compare_schemes
+from repro.core import solve_decomposed_mcf, solve_link_mcf
+from repro.engine import (
+    Engine,
+    MCFProblem,
+    ParallelRunner,
+    SolutionCache,
+    backend_names,
+    formulation_names,
+    get_backend,
+    get_engine,
+    run_parallel,
+)
+from repro.topology import generalized_kautz, hypercube
+
+
+@pytest.fixture
+def cube():
+    return hypercube(3)
+
+
+class TestMCFProblem:
+    def test_cache_key_stable_across_instances(self, cube):
+        p1 = MCFProblem("mcf-link", cube, maximize=True)
+        p2 = MCFProblem("mcf-link", hypercube(3), maximize=True)
+        assert p1.cache_key() == p2.cache_key()
+
+    def test_cache_key_sensitive_to_formulation_and_params(self, cube):
+        base = MCFProblem("mcf-link", cube, maximize=True)
+        other_form = MCFProblem("mcf-master", cube, maximize=True)
+        other_params = MCFProblem("mcf-link", cube, params={"terminals": [0, 1]},
+                                  maximize=True)
+        keys = {base.cache_key(), other_form.cache_key(), other_params.cache_key()}
+        assert len(keys) == 3
+
+    def test_param_order_does_not_matter(self, cube):
+        a = MCFProblem("tsmcf", cube, params={"num_steps": 4, "terminals": [0, 1]})
+        b = MCFProblem("tsmcf", cube, params={"terminals": [0, 1], "num_steps": 4})
+        assert a.cache_key() == b.cache_key()
+
+    def test_all_five_formulations_registered(self):
+        names = formulation_names()
+        for expected in ("mcf-link", "mcf-path", "mcf-master", "mcf-child",
+                         "tsmcf", "tsmcf-master", "tsmcf-child"):
+            assert expected in names
+
+
+class TestBackends:
+    def test_default_backends_registered(self):
+        names = backend_names()
+        assert "scipy-highs" in names
+        assert "scipy-highs-ds" in names
+        assert "scipy-highs-ipm" in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            get_backend("mosek")
+
+    def test_alternative_backend_same_optimum(self, cube):
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        engine = Engine(cache=SolutionCache(enabled=False))
+        default = engine.solve(problem)
+        dual_simplex = engine.solve(problem, backend="scipy-highs-ds")
+        assert dual_simplex.objective == pytest.approx(default.objective, rel=1e-7)
+
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(KeyError):
+            Engine(backend="does-not-exist")
+
+    def test_cache_entries_are_per_backend(self, cube):
+        # A solution cached under one backend must not answer for another
+        # (different backends may return different optimal vertices).
+        engine = Engine()
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        engine.solve(problem)
+        other = engine.solve(problem, backend="scipy-highs-ds")
+        assert other.info["cache"] == "miss"
+        assert other.info["backend"] == "scipy-highs-ds"
+        assert engine.solve(problem).info["backend"] == "scipy-highs"
+
+
+class TestSolutionCache:
+    def test_hit_vs_miss_equivalence(self, cube):
+        engine = Engine()
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        fresh = engine.solve(problem)
+        cached = engine.solve(problem)
+        assert fresh.info["cache"] == "miss"
+        assert cached.info["cache"] == "hit"
+        assert cached.objective == fresh.objective
+        # The cached copy drops near-zero values; every significant variable
+        # must round-trip exactly and the rest read back as 0.0.
+        from repro.constants import FLOW_TOL
+
+        for key, val in fresh.values.items():
+            if abs(val) > FLOW_TOL:
+                assert cached.value(key) == val
+            else:
+                assert abs(cached.value(key)) <= FLOW_TOL
+        assert engine.cache.hits == 1 and engine.cache.misses == 1
+
+    def test_bypass_flag_skips_cache(self, cube):
+        engine = Engine()
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        first = engine.solve(problem, use_cache=False)
+        second = engine.solve(problem, use_cache=False)
+        assert first.info["cache"] == "bypass"
+        assert second.info["cache"] == "bypass"
+        assert engine.cache.hits == 0 and engine.cache.misses == 0
+        assert engine.cache.size == 0
+        assert second.objective == pytest.approx(first.objective)
+
+    def test_disabled_cache_reports_bypass(self, cube):
+        engine = Engine(cache=SolutionCache(enabled=False))
+        solution = engine.solve(MCFProblem("mcf-link", cube, maximize=True))
+        assert solution.info["cache"] == "bypass"
+
+    def test_cache_key_includes_code_version(self, cube, monkeypatch):
+        # A persistent disk cache from an older release must read as a miss.
+        from repro.engine import problem as problem_mod
+
+        p = MCFProblem("mcf-link", cube, maximize=True)
+        current = p.cache_key()
+        monkeypatch.setattr(problem_mod, "_code_version", lambda: "0.0.0")
+        assert p.cache_key() != current
+
+    def test_disk_round_trip(self, cube, tmp_path):
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        writer = Engine(cache=SolutionCache(cache_dir=str(tmp_path)))
+        fresh = writer.solve(problem)
+        # A brand-new engine with an empty memory tier but the same directory
+        # must restore the identical solution from disk.
+        reader = Engine(cache=SolutionCache(cache_dir=str(tmp_path)))
+        restored = reader.solve(problem)
+        assert restored.info["cache"] == "hit"
+        assert reader.cache.disk_hits == 1
+        assert restored.objective == fresh.objective
+        from repro.constants import FLOW_TOL
+
+        significant = {k: v for k, v in fresh.values.items() if abs(v) > FLOW_TOL}
+        assert restored.values == significant
+
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+    def test_corrupt_disk_entry_is_a_miss(self, cube, tmp_path, junk):
+        # pickle surfaces corruption as UnpicklingError, ValueError or
+        # EOFError depending on the bytes; all must degrade to a miss.
+        problem = MCFProblem("mcf-link", cube, maximize=True)
+        key = f"{problem.cache_key()}-scipy-highs"
+        (tmp_path / f"{key}.lps.pkl").write_bytes(junk)
+        engine = Engine(cache=SolutionCache(cache_dir=str(tmp_path)))
+        solution = engine.solve(problem)
+        assert solution.info["cache"] == "miss"
+        assert solution.objective > 0
+
+    def test_flow_solution_meta_surfaces_engine_info(self, cube):
+        solution = solve_link_mcf(cube)
+        info = solution.meta["engine"]
+        assert info["cache"] in ("hit", "miss")
+        assert info["backend"] in backend_names()
+        assert info["num_variables"] == solution.meta["num_variables"]
+
+    def test_eviction_bounds_memory(self, cube):
+        cache = SolutionCache(max_entries=2)
+        from repro.core.solver import LPSolution
+
+        for i in range(5):
+            cache.put(f"key-{i}", LPSolution(objective=float(i), values={}))
+        assert cache.size == 2
+
+
+class TestRepeatedSweepUsesCache:
+    def test_second_compare_run_solves_no_new_lps(self):
+        """Acceptance: a repeated compare_schemes run is served from cache."""
+        topo = generalized_kautz(3, 8)
+        schemes = ["mcf-extp", "pmcf-disjoint", "sssp"]
+        engine = get_engine()
+        compare_schemes(topo, schemes, normalize=True)
+        misses_after_first = engine.cache.misses
+        hits_after_first = engine.cache.hits
+        second = compare_schemes(topo, schemes, normalize=True)
+        assert engine.cache.misses == misses_after_first, \
+            "second run should hit the cache for every LP"
+        assert engine.cache.hits > hits_after_first
+        assert all(r.error is None for r in second)
+
+
+class TestParallelRunner:
+    def test_serial_and_thread_preserve_order(self):
+        items = list(range(20))
+        square = lambda x: x * x
+        assert ParallelRunner(jobs=1).map(square, items) == [x * x for x in items]
+        assert ParallelRunner(jobs=4, mode="thread").map(square, items) == \
+            [x * x for x in items]
+
+    def test_auto_mode_selection(self):
+        assert ParallelRunner(jobs=1).mode == "serial"
+        assert ParallelRunner(jobs=4).mode == "thread"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=2, mode="gpu")
+
+    def test_run_parallel_convenience(self):
+        assert run_parallel(len, ["a", "bb", "ccc"], jobs=2) == [1, 2, 3]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            ParallelRunner(jobs=2, mode="thread").map(boom, [1, 2])
+
+
+class TestParallelCompare:
+    def test_parallel_compare_identical_to_serial(self):
+        topo = hypercube(3)
+        schemes = ["mcf-extp", "pmcf-disjoint", "ewsp", "sssp"]
+        serial = compare_schemes(topo, schemes, normalize=True, jobs=1)
+        parallel = compare_schemes(topo, schemes, normalize=True, jobs=3)
+        assert [r.scheme for r in parallel] == [r.scheme for r in serial]
+        for a, b in zip(serial, parallel):
+            assert b.concurrent_flow == pytest.approx(a.concurrent_flow, rel=1e-9)
+            assert b.all_to_all_time == pytest.approx(a.all_to_all_time, rel=1e-9)
+            assert b.normalized_time == pytest.approx(a.normalized_time, rel=1e-9)
+
+    def test_decomposed_parallel_child_lps_match_serial(self):
+        topo = hypercube(3)
+        serial = solve_decomposed_mcf(topo, n_jobs=1)
+        parallel = solve_decomposed_mcf(topo, n_jobs=2)
+        assert parallel.concurrent_flow == pytest.approx(serial.concurrent_flow,
+                                                         rel=1e-7)

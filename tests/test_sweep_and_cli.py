@@ -102,3 +102,19 @@ class TestCLI:
         assert main(["compare", "torus:dims=3x3", "--schemes", "ewsp,sssp,dor"]) == 0
         out = capsys.readouterr().out
         assert "ewsp" in out and "dor" in out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_compare_jobs_output_identical_to_serial(self, capsys):
+        args = ["compare", "hypercube:dim=3", "--schemes", "ewsp,sssp,pmcf-disjoint"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out

@@ -140,3 +140,61 @@ class TestDerivedTopologies:
     def test_remove_nodes_rejects_too_many(self):
         with pytest.raises(ValueError):
             complete(3).remove_nodes([0, 1])
+
+
+class TestCanonicalHash:
+    """The hash is the solve-engine cache key; it must be content-stable."""
+
+    def test_construction_order_invariance(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        forward = Topology.from_edges(3, edges)
+        backward = Topology.from_edges(3, list(reversed(edges)))
+        assert forward.canonical_hash() == backward.canonical_hash()
+
+    def test_name_and_metadata_do_not_matter(self):
+        a = ring(5)
+        b = ring(5).copy(name="renamed")
+        b.metadata["extra"] = "stuff"
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_capacity_changes_hash(self):
+        a = ring(4)
+        b = ring(4).with_capacity(2.0)
+        assert a.canonical_hash() != b.canonical_hash()
+
+    def test_edge_set_changes_hash(self):
+        a = complete(4)
+        b = complete(4).remove_edges([(0, 1)])
+        assert a.canonical_hash() != b.canonical_hash()
+
+    def test_isolated_node_count_changes_hash(self):
+        g1 = nx.DiGraph()
+        g1.add_nodes_from(range(3))
+        g1.add_edges_from([(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)])
+        small = Topology(g1)
+        big = complete(4)
+        assert small.canonical_hash() != big.canonical_hash()
+
+    def test_hash_is_hex_digest(self):
+        h = ring(4).canonical_hash()
+        assert len(h) == 64
+        assert int(h, 16) >= 0
+
+    def test_stable_across_processes(self):
+        # Regression guard: the hash feeds the on-disk cache, so it must not
+        # depend on PYTHONHASHSEED or interpreter state.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        code = ("from repro.topology import ring;"
+                "print(ring(6).canonical_hash())")
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = src
+        out = subprocess.run([sys.executable, "-c", code],
+                             capture_output=True, text=True, env=env)
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == ring(6).canonical_hash()
