@@ -16,7 +16,6 @@ schedule-independent optimum), exactly what the paper's simulation reports.
 
 import math
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import lower_bound_time_regular, solve_master_lp

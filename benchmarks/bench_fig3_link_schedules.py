@@ -13,7 +13,6 @@ Expected shape: tsMCF tracks the upper bound at large buffers and beats the
 TACCL surrogate (by ~20-60%); all schemes are latency-bound at small buffers.
 """
 
-import pytest
 
 from repro.analysis import format_throughput_sweep
 from repro.baselines import taccl_like_schedule
@@ -37,7 +36,9 @@ def _upper_bound_row(topology, flow_value, buffers):
 
 
 def _run_topology(name, topo, buffer_sweep, record, benchmark=None, terminals=None):
-    solve = lambda: solve_timestepped_mcf(topo, terminals=terminals)
+    def solve():
+        return solve_timestepped_mcf(topo, terminals=terminals)
+
     ts = benchmark.pedantic(solve, rounds=1, iterations=1) if benchmark is not None else solve()
     link_schedule = chunk_timestepped_flow(ts)
     flow_value = ts.equivalent_concurrent_flow()
@@ -57,7 +58,6 @@ def _run_topology(name, topo, buffer_sweep, record, benchmark=None, terminals=No
 def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
     topo = complete_bipartite(4, 4)
     results = _run_topology("Complete Bipartite", topo, buffer_sweep, record, benchmark)
-    big = buffer_sweep[-1]
     mcf = results["tsMCF/G"][-1].throughput
     taccl = results["TACCL/G"][-1].throughput
     bound = results["Upper Bound"][-1].throughput

@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis import format_throughput_sweep
 from repro.baselines import ilp_disjoint_schedule, native_alltoall_schedule
-from repro.core import solve_decomposed_mcf, solve_mcf_extract_paths
+from repro.core import solve_mcf_extract_paths
 from repro.paths import dor_schedule, ewsp_schedule, sssp_schedule
 from repro.schedule import chunk_path_schedule
 from repro.simulator import cerio_hpc_fabric, steady_state_throughput, throughput_sweep

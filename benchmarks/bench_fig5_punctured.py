@@ -9,7 +9,6 @@ Expected shape: MCF-extP >= SSSP on every instance (by ~30% max link load in
 the paper), and comparable to ILP-disjoint.
 """
 
-import pytest
 
 from repro.analysis import Envelope, format_table
 from repro.baselines import ilp_disjoint_schedule

@@ -10,7 +10,6 @@ Expected shape: the all-to-all band shrinks with MCF-extP versus SSSP/native,
 and the total FFT time follows (the paper reports up to ~20% total speedup).
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.baselines import native_alltoall_schedule

@@ -21,7 +21,6 @@ separation between the curves is already decisive at these sizes.
 
 import time
 
-import pytest
 
 from repro.analysis import format_table
 from repro.baselines import (
@@ -41,6 +40,80 @@ def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def test_fig7_lp_phase_breakdown(benchmark, record, record_json, scale):
+    """Fig. 7 companion: per-phase LP timings, machine-readable.
+
+    Runs the monolithic and decomposed MCF on GenKautz graphs and records
+    assembly / solve / extraction wall-clock (plus the optimal objective) per
+    topology size into ``results/BENCH_runtime.json`` — the series the CI
+    perf-smoke job uploads and gates against ``benchmarks/baseline.json``.
+    Sizes are chosen so the whole sweep stays around a CI-friendly minute at
+    the default small scale.
+    """
+    if scale == "paper":
+        link_sizes = [20, 50, 100]
+        decomp_sizes = [20, 50, 100, 200]
+    else:
+        link_sizes = [12, 16]
+        decomp_sizes = [12, 20, 32]
+
+    series = {"mcf-link": {}, "mcf-decomposed": {}}
+
+    def run_sweep():
+        for n in link_sizes:
+            topo = generalized_kautz(DEGREE, n)
+            sol, total = _timed(lambda: solve_link_mcf(topo, repair=False))
+            eng = sol.meta["engine"]
+            assemble = float(eng.get("assemble_seconds", 0.0))
+            solve = float(eng.get("solve_seconds", 0.0))
+            series["mcf-link"][n] = {
+                "assemble_seconds": assemble,
+                "solve_seconds": solve,
+                "extract_seconds": max(total - assemble - solve, 0.0),
+                "total_seconds": total,
+                "objective": sol.concurrent_flow,
+            }
+        for n in decomp_sizes:
+            topo = generalized_kautz(DEGREE, n)
+            sol, total = _timed(lambda: solve_decomposed_mcf(topo, repair=False))
+            eng = sol.meta["master_engine"]
+            timings = sol.meta["timings"]
+            assemble = float(eng.get("assemble_seconds", 0.0))
+            solve = float(eng.get("solve_seconds", 0.0))
+            children = float(sum(timings.child_seconds_each))
+            series["mcf-decomposed"][n] = {
+                "assemble_seconds": assemble,
+                "solve_seconds": solve,
+                "children_seconds": children,
+                "extract_seconds": max(total - assemble - solve - children, 0.0),
+                "total_seconds": total,
+                "objective": sol.concurrent_flow,
+            }
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_json("runtime", series)
+    record("fig7_phase_breakdown", format_table(
+        ["algorithm", "N", "assemble (s)", "solve (s)", "total (s)", "F"],
+        [[alg, n, f"{p['assemble_seconds']:.3f}", f"{p['solve_seconds']:.3f}",
+          f"{p['total_seconds']:.3f}", f"{p['objective']:.6f}"]
+         for alg, sizes in series.items() for n, p in sizes.items()],
+        title="Fig. 7 companion: LP phase breakdown (GenKautz, degree 4)"))
+
+    # Vectorized block assembly must stay a small fraction of total runtime:
+    # the seed's per-key assembly path took longer than the HiGHS solve at
+    # these sizes; the block path must never dominate again.
+    for alg, sizes in series.items():
+        for n, p in sizes.items():
+            assert p["assemble_seconds"] < max(0.25, 0.5 * p["total_seconds"]), \
+                f"{alg} N={n}: assembly {p['assemble_seconds']:.3f}s dominates"
+    # Both formulations must agree on the optimum at the shared sizes.
+    for n in set(link_sizes) & set(decomp_sizes):
+        link_f = series["mcf-link"][n]["objective"]
+        decomp_f = series["mcf-decomposed"][n]["objective"]
+        assert abs(link_f - decomp_f) < 1e-6, \
+            f"N={n}: link F={link_f} != decomposed F={decomp_f}"
 
 
 def test_fig7_runtime_scaling(benchmark, record, scale):

@@ -12,7 +12,6 @@ whole failure sweep; SSSP drifts upward as links disappear.
 
 import random
 
-import pytest
 
 from repro.analysis import format_table, normalize_times
 from repro.baselines import ilp_disjoint_schedule

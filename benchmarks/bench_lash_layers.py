@@ -7,7 +7,6 @@ study: it generates route sets with each algorithm on each topology, runs
 LASH, LASH-sequential and DF-SSSP, and reports the layer counts.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.baselines import ilp_disjoint_schedule, native_alltoall_schedule

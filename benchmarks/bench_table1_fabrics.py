@@ -6,12 +6,11 @@ both models (forwarding bandwidth vs none), which is the quantitative content
 behind the table's "Forwarding BW >= B vs = B" row.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import solve_mcf_extract_paths
 from repro.schedule import chunk_path_schedule
-from repro.simulator import GBPS, a100_ml_fabric, cerio_hpc_fabric, throughput_sweep
+from repro.simulator import a100_ml_fabric, cerio_hpc_fabric, throughput_sweep
 from repro.topology import torus_2d
 
 

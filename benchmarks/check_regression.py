@@ -1,0 +1,120 @@
+"""Perf-regression gate: compare a BENCH_*.json run against a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py [CURRENT] [BASELINE]
+
+defaulting to ``benchmarks/results/BENCH_runtime.json`` vs
+``benchmarks/baseline.json``.  The schema of both files is documented in
+``benchmarks/conftest.py``.
+
+Gate rules (see also the conftest docstring):
+
+* every ``*_seconds`` phase present in both files is compared; a phase is a
+  regression when ``current > max_slowdown * baseline`` (default 2.0,
+  override with ``REPRO_BENCH_MAX_SLOWDOWN``);
+* baseline phases faster than ``MIN_GATED_SECONDS`` (250 ms) are
+  informational only — at that magnitude timer and scheduler noise (and
+  runner-to-runner hardware variance) routinely exceeds the gate ratio;
+* ``objective`` values must match the baseline within ``FLOW_TOL`` — a drift
+  means the refactor changed the LP, not just its speed;
+* series/size entries missing from the current run fail (a benchmark that
+  silently stopped covering a size is a regression too); entries new in the
+  current run are reported and pass.
+
+Exit status: 0 when the gate passes, 1 on any regression, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+MIN_GATED_SECONDS = 0.25
+FLOW_TOL = 1e-6  # mirrors repro.constants.FLOW_TOL without importing the package
+
+
+def load(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if payload.get("schema_version") != 1 or "series" not in payload:
+        print(f"error: {path} is not a schema-version-1 BENCH file",
+              file=sys.stderr)
+        sys.exit(2)
+    return payload
+
+
+def main(argv) -> int:
+    root = Path(__file__).parent
+    current_path = Path(argv[1]) if len(argv) > 1 else (
+        root / "results" / "BENCH_runtime.json")
+    baseline_path = Path(argv[2]) if len(argv) > 2 else root / "baseline.json"
+    max_slowdown = float(os.environ.get("REPRO_BENCH_MAX_SLOWDOWN", "2.0"))
+
+    current = load(current_path)
+    baseline = load(baseline_path)
+    if current.get("scale") != baseline.get("scale"):
+        print(f"error: scale mismatch: current={current.get('scale')!r} "
+              f"baseline={baseline.get('scale')!r}", file=sys.stderr)
+        return 2
+
+    failures = []
+    notes = []
+    for alg, base_sizes in baseline["series"].items():
+        cur_sizes = current["series"].get(alg)
+        if cur_sizes is None:
+            failures.append(f"series {alg!r} missing from current run")
+            continue
+        for size, base_phases in base_sizes.items():
+            cur_phases = cur_sizes.get(size)
+            if cur_phases is None:
+                failures.append(f"{alg} N={size} missing from current run")
+                continue
+            base_obj = base_phases.get("objective")
+            cur_obj = cur_phases.get("objective")
+            if base_obj is not None and cur_obj is not None and \
+                    abs(cur_obj - base_obj) > FLOW_TOL:
+                failures.append(f"{alg} N={size}: objective drifted "
+                                f"{base_obj} -> {cur_obj}")
+            for phase, base_val in base_phases.items():
+                if not phase.endswith("_seconds"):
+                    continue
+                cur_val = cur_phases.get(phase)
+                if cur_val is None:
+                    failures.append(f"{alg} N={size}: phase {phase} missing")
+                    continue
+                ratio = cur_val / base_val if base_val > 0 else float("inf")
+                line = (f"{alg} N={size} {phase}: "
+                        f"{base_val:.3f}s -> {cur_val:.3f}s ({ratio:.2f}x)")
+                if base_val < MIN_GATED_SECONDS:
+                    notes.append(line + " [below gate floor]")
+                elif cur_val > max_slowdown * base_val:
+                    failures.append(line + f" exceeds {max_slowdown:.1f}x gate")
+                else:
+                    notes.append(line)
+    for alg, cur_sizes in current["series"].items():
+        base_sizes = baseline["series"].get(alg, {})
+        for size in cur_sizes:
+            if size not in base_sizes:
+                notes.append(f"{alg} N={size}: new entry (not gated)")
+
+    for line in notes:
+        print(f"  ok: {line}")
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s) vs "
+              f"{baseline_path.name}, slowdown gate {max_slowdown:.1f}x):")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print(f"\nperf gate passed vs {baseline_path.name} "
+          f"(slowdown gate {max_slowdown:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

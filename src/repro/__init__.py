@@ -22,7 +22,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",

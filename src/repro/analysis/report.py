@@ -7,7 +7,7 @@ these helpers render them as aligned text tables so the output of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_series", "format_throughput_sweep", "human_bytes"]
 

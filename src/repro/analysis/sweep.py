@@ -15,7 +15,7 @@ solves no new LPs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..engine import ParallelRunner
 

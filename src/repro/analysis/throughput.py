@@ -10,7 +10,7 @@ in one place (and testable).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
 __all__ = ["normalize_times", "Envelope", "envelope", "speedup", "crossover_buffer"]
 

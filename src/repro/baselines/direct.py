@@ -10,9 +10,8 @@ complete bipartite topology and ~55% on the 3D torus (Fig. 4).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from ..core.flow import Commodity
 from ..core.mcf_path import PathSchedule, path_schedule_from_single_paths
 from ..paths.shortest import first_shortest_path_sets
 from ..schedule.ir import Chunk, LinkSchedule, LinkSendOp

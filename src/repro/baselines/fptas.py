@@ -24,10 +24,9 @@ that the FPTAS cannot exploit the parallelism the decomposed MCF can).
 
 from __future__ import annotations
 
-import math
 import time
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import networkx as nx
 

@@ -51,7 +51,6 @@ def solve_ilp_path_selection(topology: Topology,
     start = time.perf_counter()
     commodities = list(topology.commodities())
     edges = topology.edges
-    edge_index = {e: i for i, e in enumerate(edges)}
     caps = topology.capacities()
 
     # Variable layout: [x vars ...., L]

@@ -16,7 +16,6 @@ behaves in the paper's experiments.
 from __future__ import annotations
 
 import time
-from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import networkx as nx

@@ -32,9 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from ..core.flow import Commodity
 from ..schedule.ir import Chunk, LinkSchedule, LinkSendOp
-from ..topology.base import Edge, Topology
+from ..topology.base import Topology
 
 __all__ = ["taccl_like_schedule"]
 

@@ -21,7 +21,7 @@ b such that d*b = 150 Gbps but B_host = 100 Gbps), the augmented MCF value is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import networkx as nx
 
@@ -130,9 +130,6 @@ def project_flow_to_hosts(aug: AugmentedTopology, solution: FlowSolution) -> Flo
             if u in rev_out and v in rev_in:
                 projected[(rev_out[u], rev_in[v])] = projected.get((rev_out[u], rev_in[v]), 0.0) + val
         physical_flows[(s, d)] = projected
-    # Build a physical topology view for the projected flows.
-    base_meta = {k: v for k, v in aug.topology.metadata.items() if k != "augmented"}
-    phys_edges = sorted({e for per in physical_flows.values() for e in per})
     return FlowSolution(
         concurrent_flow=solution.concurrent_flow,
         flows=physical_flows,

@@ -12,9 +12,9 @@ cycles) and re-accumulating link flows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import networkx as nx
+import numpy as np
 
 from ..constants import FLOW_TOL
 from ..topology.base import Edge, Topology
@@ -22,7 +22,31 @@ from ..topology.base import Edge, Topology
 Commodity = Tuple[int, int]
 
 __all__ = ["Commodity", "FlowSolution", "WeightedPath", "flow_to_paths",
-           "repair_conservation", "max_link_utilization", "conservation_violation"]
+           "flows_from_array", "repair_conservation", "max_link_utilization",
+           "conservation_violation"]
+
+
+def flows_from_array(values, commodities: Sequence[Commodity],
+                     edges: Sequence[Edge],
+                     tol: float = FLOW_TOL) -> Dict[Commodity, Dict[Edge, float]]:
+    """Convert a ``(num_commodities, num_edges)`` value array into sparse
+    per-commodity link-flow dicts.
+
+    This is the extraction path for block-assembled MCF solutions: the solver
+    hands back one flat ndarray per variable block, the above-``tol`` entries
+    are located with a single vectorized comparison, and Python dicts are
+    built for those entries only (MCF solutions are overwhelmingly zeros).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.shape != (len(commodities), len(edges)):
+        raise ValueError(f"flow array shape {arr.shape} does not match "
+                         f"{len(commodities)} commodities x {len(edges)} edges")
+    flows: Dict[Commodity, Dict[Edge, float]] = {c: {} for c in commodities}
+    ci, ei = np.nonzero(arr > tol)
+    vals = arr[ci, ei]
+    for k in range(len(ci)):
+        flows[commodities[ci[k]]][edges[ei[k]]] = float(vals[k])
+    return flows
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,6 @@ The reciprocal of this bound upper-bounds the concurrent flow value F.
 
 from __future__ import annotations
 
-import math
-from typing import Tuple
 
 from ..topology.base import Topology
 from ..topology import properties

@@ -30,26 +30,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..constants import FLOW_TOL
 from ..engine import MCFProblem, ParallelRunner, register_formulation
 from ..engine import solve as engine_solve
 from ..topology.base import Edge, Topology
-from .flow import Commodity, FlowSolution, repair_conservation
-from .mcf_link import terminal_commodities
+from .flow import Commodity, FlowSolution, flows_from_array, repair_conservation
+from .mcf_link import topology_arrays
 from .solver import LPBuilder
 
 __all__ = ["solve_decomposed_mcf", "solve_master_lp", "solve_child_lp",
            "DecomposedTimings", "MasterSolution"]
-
-
-def _g_key(s, e):
-    """Master-LP variable key: grouped flow of source ``s`` on edge ``e``."""
-    return ("g", s, e)
-
-
-def _f_key(d, e):
-    """Child-LP variable key: flow to destination ``d`` on edge ``e``."""
-    return ("f", d, e)
 
 
 @dataclass
@@ -59,6 +51,7 @@ class MasterSolution:
     concurrent_flow: float
     grouped_flows: Dict[int, Dict[Edge, float]]
     solve_seconds: float
+    info: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -82,41 +75,48 @@ class DecomposedTimings:
 
 @register_formulation("mcf-master")
 def build_master_lp(problem: MCFProblem) -> LPBuilder:
-    """Assemble the source-grouped master LP (eqs. 6-9)."""
+    """Assemble the source-grouped master LP (eqs. 6-9) with block/COO ops."""
     topology = problem.topology
     terminals = problem.params.get("terminals")
-    edges = topology.edges
-    caps = topology.capacities()
-    nodes = topology.nodes
+    edges, tails, heads, cap_arr = topology_arrays(topology)
+    num_nodes = topology.num_nodes
     if terminals is None:
-        sources = list(nodes)
-        terminal_set = set(nodes)
+        sources = list(topology.nodes)
     else:
         sources = sorted(set(int(t) for t in terminals))
-        terminal_set = set(sources)
+    S, E = len(sources), len(edges)
+    src_arr = np.asarray(sources, dtype=np.int64)
 
     lp = LPBuilder()
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    for s in sources:
-        for e in edges:
-            lp.add_variable(_g_key(s, e), lb=0.0)
+    f_col = lp.add_variable("F", lb=0.0, objective=1.0)
+    g = lp.add_variable_block("g", (S, E), lb=0.0)
 
     # (7) capacity per link over all source groups.
-    for e in edges:
-        lp.add_le([(_g_key(s, e), 1.0) for s in sources], caps[e])
+    lp.add_le_block(rows=np.repeat(np.arange(E), S), cols=g.T.ravel(),
+                    vals=np.ones(S * E), rhs=cap_arr)
 
     # (8) source-based conservation: F + outflow <= inflow at every terminal
-    # u != s; non-terminal relays only forward (outflow <= inflow).
-    out_edges = {u: topology.out_edges(u) for u in nodes}
-    in_edges = {u: topology.in_edges(u) for u in nodes}
-    for s in sources:
-        for u in nodes:
-            if u == s:
-                continue
-            terms = [("F", 1.0)] if u in terminal_set else []
-            terms += [(_g_key(s, e), 1.0) for e in out_edges[u]]
-            terms += [(_g_key(s, e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
+    # u != s; non-terminal relays only forward (outflow <= inflow).  Rows are
+    # keyed (source index, node) and compressed to consecutive ids; the F
+    # column enters the rows of terminal nodes.
+    s_ids = np.repeat(np.arange(S), E)
+    e_ids = np.tile(np.arange(E), S)
+    var = g.ravel()
+    tail, head = tails[e_ids], heads[e_ids]
+    s_of = src_arr[s_ids]
+    plus = tail != s_of
+    minus = head != s_of
+    term_arr = src_arr  # the terminal set is exactly the source set
+    si_grid = np.repeat(np.arange(S), len(term_arr))
+    u_grid = np.tile(term_arr, S)
+    f_rows = u_grid != src_arr[si_grid]
+    lp.add_compressed_block(
+        [s_ids[plus] * num_nodes + tail[plus],
+         s_ids[minus] * num_nodes + head[minus],
+         si_grid[f_rows] * num_nodes + u_grid[f_rows]],
+        [var[plus], var[minus], np.full(int(f_rows.sum()), f_col)],
+        [np.ones(int(plus.sum())), -np.ones(int(minus.sum())),
+         np.ones(int(f_rows.sum()))])
     return lp
 
 
@@ -145,22 +145,19 @@ def solve_master_lp(topology: Topology,
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
+    g = np.asarray(solution.block("g"))
     edges = topology.edges
-    grouped: Dict[int, Dict[Edge, float]] = {}
-    for s in sources:
-        per_edge = {}
-        for e in edges:
-            val = solution.value(_g_key(s, e))
-            if val > FLOW_TOL:
-                per_edge[e] = val
-        grouped[s] = per_edge
+    grouped: Dict[int, Dict[Edge, float]] = {s: {} for s in sources}
+    for si, ei in zip(*np.nonzero(g > FLOW_TOL)):
+        grouped[sources[si]][edges[ei]] = float(g[si, ei])
     return MasterSolution(concurrent_flow=float(solution.value("F")),
-                          grouped_flows=grouped, solve_seconds=elapsed)
+                          grouped_flows=grouped, solve_seconds=elapsed,
+                          info=dict(solution.info))
 
 
 @register_formulation("mcf-child")
 def build_child_lp(problem: MCFProblem) -> LPBuilder:
-    """Assemble the per-source child LP (eqs. 10-14)."""
+    """Assemble the per-source child LP (eqs. 10-14) with block/COO ops."""
     topology = problem.topology
     source = problem.params["source"]
     grouped_flow = dict(problem.params["grouped_flow"])
@@ -168,39 +165,50 @@ def build_child_lp(problem: MCFProblem) -> LPBuilder:
     slack = problem.params.get("slack", 1e-7)
     destinations = problem.params.get("destinations")
 
-    nodes = topology.nodes
+    num_nodes = topology.num_nodes
     if destinations is None:
-        destinations = [d for d in nodes if d != source]
+        destinations = [d for d in topology.nodes if d != source]
     else:
         destinations = [d for d in destinations if d != source]
     # Only edges that carry grouped flow can carry per-commodity flow.
     edges = [e for e in topology.edges if grouped_flow.get(e, 0.0) > FLOW_TOL]
+    D, E = len(destinations), len(edges)
+    tails = np.fromiter((e[0] for e in edges), dtype=np.int64, count=E)
+    heads = np.fromiter((e[1] for e in edges), dtype=np.int64, count=E)
+    group_arr = np.fromiter((grouped_flow[e] for e in edges), dtype=float, count=E)
+    dest_arr = np.asarray(destinations, dtype=np.int64)
 
     lp = LPBuilder()
-    for d in destinations:
-        for e in edges:
-            lp.add_variable(_f_key(d, e), lb=0.0, objective=1.0)
+    f = lp.add_variable_block("f", (D, E), lb=0.0, objective=1.0)
 
     # (11) per-link cap = grouped flow.
-    for e in edges:
-        lp.add_le([(_f_key(d, e), 1.0) for d in destinations], grouped_flow[e])
+    lp.add_le_block(rows=np.repeat(np.arange(E), D), cols=f.T.ravel(),
+                    vals=np.ones(D * E), rhs=group_arr)
 
-    out_edges = {u: [e for e in edges if e[0] == u] for u in nodes}
-    in_edges = {u: [e for e in edges if e[1] == u] for u in nodes}
+    d_ids = np.repeat(np.arange(D), E)
+    e_ids = np.tile(np.arange(E), D)
+    var = f.ravel()
+    tail, head = tails[e_ids], heads[e_ids]
+    d_of = dest_arr[d_ids]
     demand = max(concurrent_flow - slack, 0.0)
-    for d in destinations:
-        # (12) conservation at intermediate nodes.
-        for u in nodes:
-            if u == source or u == d:
-                continue
-            terms = [(_f_key(d, e), 1.0) for e in out_edges[u]]
-            terms += [(_f_key(d, e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
-        # (13) demand at the sink; the sink never re-emits its own commodity
-        # (prevents circulation through d from faking delivered demand).
-        lp.add_ge([(_f_key(d, e), 1.0) for e in in_edges[d]], demand)
-        for e in out_edges[d]:
-            lp.add_le([(_f_key(d, e), 1.0)], 0.0)
+
+    # (12) conservation at intermediate nodes (u != source, u != d).
+    plus = (tail != source) & (tail != d_of)
+    minus = (head != source) & (head != d_of)
+    lp.add_compressed_block(
+        [d_ids[plus] * num_nodes + tail[plus],
+         d_ids[minus] * num_nodes + head[minus]],
+        [var[plus], var[minus]],
+        [np.ones(int(plus.sum())), -np.ones(int(minus.sum()))])
+
+    # (13) demand at the sink; the sink never re-emits its own commodity
+    # (prevents circulation through d from faking delivered demand).
+    sink = head == d_of
+    lp.add_ge_block(d_ids[sink], var[sink], np.ones(int(sink.sum())),
+                    np.full(D, demand))
+    reemit = tail == d_of
+    k = int(reemit.sum())
+    lp.add_le_block(np.arange(k), var[reemit], np.ones(k), np.zeros(k))
     return lp
 
 
@@ -239,14 +247,8 @@ def solve_child_lp(topology: Topology, source: int, grouped_flow: Dict[Edge, flo
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
-    flows: Dict[Commodity, Dict[Edge, float]] = {}
-    for d in dest_list:
-        per_edge = {}
-        for e in edges:
-            val = solution.value(_f_key(d, e))
-            if val > FLOW_TOL:
-                per_edge[e] = val
-        flows[(source, d)] = per_edge
+    flows: Dict[Commodity, Dict[Edge, float]] = flows_from_array(
+        solution.block("f"), [(source, d) for d in dest_list], edges)
     return flows, elapsed
 
 
@@ -303,7 +305,8 @@ def solve_decomposed_mcf(topology: Topology, repair: bool = True,
         solve_seconds=timings.total_seconds,
         meta={"method": "mcf-decomposed", "timings": timings,
               "master_seconds": timings.master_seconds,
-              "parallel_seconds": timings.parallel_seconds},
+              "parallel_seconds": timings.parallel_seconds,
+              "master_engine": master.info},
     )
     if repair:
         result = repair_conservation(result)

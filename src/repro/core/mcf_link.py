@@ -20,22 +20,32 @@ backend selection on top.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..constants import FLOW_TOL
+import numpy as np
+
 from ..engine import MCFProblem, register_formulation
 from ..engine import solve as engine_solve
-from ..topology.base import Edge, Topology
-from .flow import Commodity, FlowSolution, repair_conservation
+from ..topology.base import Topology
+from .flow import Commodity, FlowSolution, flows_from_array, repair_conservation
 from .solver import LPBuilder
 
-__all__ = ["solve_link_mcf", "terminal_commodities"]
+__all__ = ["solve_link_mcf", "terminal_commodities", "topology_arrays"]
 
 
-def _f_key(c, e):
-    """LP variable key of commodity ``c`` on edge ``e`` (shared by the
-    assembler and the result extractor so they can never drift apart)."""
-    return ("f", c, e)
+def topology_arrays(topology: Topology):
+    """Edge tail / head / capacity ndarrays in the deterministic edge order.
+
+    Shared by all vectorized MCF assemblers: the link structure enters the
+    COO constraint triplets through these arrays instead of per-edge Python
+    loops.
+    """
+    edges = topology.edges
+    caps = topology.capacities()
+    tails = np.fromiter((e[0] for e in edges), dtype=np.int64, count=len(edges))
+    heads = np.fromiter((e[1] for e in edges), dtype=np.int64, count=len(edges))
+    cap_arr = np.fromiter((caps[e] for e in edges), dtype=float, count=len(edges))
+    return edges, tails, heads, cap_arr
 
 
 def terminal_commodities(topology: Topology,
@@ -60,45 +70,69 @@ def terminal_commodities(topology: Topology,
 
 @register_formulation("mcf-link")
 def build_link_mcf(problem: MCFProblem) -> LPBuilder:
-    """Assemble the link-based MCF LP (eqs. 1-5) from a problem spec."""
+    """Assemble the link-based MCF LP (eqs. 1-5) with block/COO numpy ops.
+
+    The O(N^2 * E) flow variables live in one ``"f"`` block of shape
+    (commodities, edges); every constraint family (capacity, conservation,
+    sink demand, sink no-re-emit) is built as one COO triplet batch over the
+    full (commodity, edge) grid instead of per-row Python loops.
+    """
     topology = problem.topology
     terminals = problem.params.get("terminals")
     demand = problem.params.get("demand")
     commodities = terminal_commodities(topology, terminals)
-    edges = topology.edges
-    caps = topology.capacities()
+    edges, tails, heads, cap_arr = topology_arrays(topology)
+    num_nodes = topology.num_nodes
+    C, E = len(commodities), len(edges)
     if demand is None:
-        demand = {c: 1.0 for c in commodities}
+        demand_arr = np.ones(C)
+    else:
+        demand_arr = np.fromiter((demand[c] for c in commodities),
+                                 dtype=float, count=C)
 
     lp = LPBuilder()
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    for c in commodities:
-        for e in edges:
-            lp.add_variable(_f_key(c, e), lb=0.0)
+    f_col = lp.add_variable("F", lb=0.0, objective=1.0)
+    f = lp.add_variable_block("f", (C, E), lb=0.0)
 
-    # (2) capacity per link.
-    for e in edges:
-        lp.add_le([(_f_key(c, e), 1.0) for c in commodities], caps[e])
+    # (2) capacity per link: sum over commodities.
+    lp.add_le_block(rows=np.repeat(np.arange(E), C), cols=f.T.ravel(),
+                    vals=np.ones(C * E), rhs=cap_arr)
 
-    # (3) conservation (inequality form) at intermediate nodes,
-    # (4) demand at the sink.  The sink never re-emits its own commodity,
-    # otherwise circulation through the sink could satisfy (4) without
-    # delivering anything (the gross-inflow exploit the paper's
-    # post-processing step also guards against).
-    out_edges = {u: topology.out_edges(u) for u in topology.nodes}
-    in_edges = {u: topology.in_edges(u) for u in topology.nodes}
-    for s, d in commodities:
-        for u in topology.nodes:
-            if u == s or u == d:
-                continue
-            terms = [(_f_key((s, d), e), 1.0) for e in out_edges[u]]
-            terms += [(_f_key((s, d), e), -1.0) for e in in_edges[u]]
-            lp.add_le(terms, 0.0)
-        sink_terms = [(_f_key((s, d), e), -1.0) for e in in_edges[d]]
-        sink_terms.append(("F", demand[(s, d)]))
-        lp.add_le(sink_terms, 0.0)
-        for e in out_edges[d]:
-            lp.add_le([(_f_key((s, d), e), 1.0)], 0.0)
+    # The remaining families are masks over the full (commodity, edge) grid:
+    # an edge contributes +1 at its tail's row and -1 at its head's row.
+    c_ids = np.repeat(np.arange(C), E)
+    e_ids = np.tile(np.arange(E), C)
+    var = f.ravel()
+    tail, head = tails[e_ids], heads[e_ids]
+    s_of = np.fromiter((c[0] for c in commodities), dtype=np.int64,
+                       count=C)[c_ids]
+    d_of = np.fromiter((c[1] for c in commodities), dtype=np.int64,
+                       count=C)[c_ids]
+
+    # (3) conservation (inequality form) at intermediate nodes: rows are the
+    # used (commodity, node) pairs, compressed to consecutive ids.
+    plus = (tail != s_of) & (tail != d_of)
+    minus = (head != s_of) & (head != d_of)
+    lp.add_compressed_block(
+        [c_ids[plus] * num_nodes + tail[plus],
+         c_ids[minus] * num_nodes + head[minus]],
+        [var[plus], var[minus]],
+        [np.ones(int(plus.sum())), -np.ones(int(minus.sum()))])
+
+    # (4) demand at the sink: inflow at d covers demand * F.
+    sink = head == d_of
+    lp.add_le_block(np.concatenate([c_ids[sink], np.arange(C)]),
+                    np.concatenate([var[sink], np.full(C, f_col)]),
+                    np.concatenate([-np.ones(int(sink.sum())), demand_arr]),
+                    np.zeros(C))
+
+    # The sink never re-emits its own commodity, otherwise circulation
+    # through the sink could satisfy (4) without delivering anything (the
+    # gross-inflow exploit the paper's post-processing step also guards
+    # against).
+    reemit = tail == d_of
+    k = int(reemit.sum())
+    lp.add_le_block(np.arange(k), var[reemit], np.ones(k), np.zeros(k))
     return lp
 
 
@@ -142,15 +176,7 @@ def solve_link_mcf(topology: Topology, repair: bool = True,
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
-    edges = topology.edges
-    flows: Dict[Commodity, Dict[Edge, float]] = {}
-    for c in commodities:
-        per_edge = {}
-        for e in edges:
-            val = solution.value(_f_key(c, e))
-            if val > FLOW_TOL:
-                per_edge[e] = val
-        flows[c] = per_edge
+    flows = flows_from_array(solution.block("f"), commodities, topology.edges)
 
     result = FlowSolution(
         concurrent_flow=float(solution.value("F")),

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from ..constants import FLOW_TOL
 from ..engine import MCFProblem, register_formulation
@@ -26,12 +26,6 @@ from ..topology.base import Edge, Topology
 from .flow import Commodity, FlowSolution, WeightedPath
 
 __all__ = ["PathSchedule", "solve_path_mcf", "path_schedule_from_single_paths"]
-
-
-def _var(c, i):
-    """LP variable key of candidate path ``i`` of commodity ``c`` (shared
-    by the assembler and the result extractor)."""
-    return ("p", c, i)
 
 
 @dataclass
@@ -122,35 +116,59 @@ class PathSchedule:
 
 @register_formulation("mcf-path")
 def build_path_mcf(problem: MCFProblem):
-    """Assemble the pMCF LP (eqs. 21-24) from a problem spec."""
+    """Assemble the pMCF LP (eqs. 21-24) with block/COO numpy ops.
+
+    The ragged per-commodity path sets are flattened into one ``"p"`` block;
+    a single pass over the paths collects the (edge, variable) incidence
+    pairs, from which both constraint families are built as COO batches.
+    """
+    import numpy as np
+
     from .solver import LPBuilder
 
     topology = problem.topology
     path_sets = problem.params["path_sets"]
     commodities = list(topology.commodities())
+    edges = topology.edges
     caps = topology.capacities()
+    edge_index = {e: i for i, e in enumerate(edges)}
+    counts = np.fromiter((len(path_sets[c]) for c in commodities),
+                         dtype=np.int64, count=len(commodities))
+    total_paths = int(counts.sum())
 
     lp = LPBuilder()
-    lp.add_variable("F", lb=0.0, objective=1.0)
-    # Pre-index which (commodity, path index) traverse each edge.
-    edge_users: Dict[Edge, List[Tuple[Commodity, int]]] = {e: [] for e in topology.edges}
-    for c in commodities:
-        for i, p in enumerate(path_sets[c]):
-            lp.add_variable(_var(c, i), lb=0.0)
-            for e in zip(p[:-1], p[1:]):
-                if e not in edge_users:
-                    raise ValueError(f"path {p} uses non-existent edge {e}")
-                edge_users[e].append((c, i))
+    f_col = lp.add_variable("F", lb=0.0, objective=1.0)
+    p_vars = lp.add_variable_block("p", (total_paths,), lb=0.0)
 
-    # (22) link capacity.
-    for e, users in edge_users.items():
-        if users:
-            lp.add_le([(_var(c, i), 1.0) for c, i in users], caps[e])
-    # (23) concurrent demand.
+    # One pass over the paths: (edge index, path variable) incidence pairs.
+    ei: List[int] = []
+    vi: List[int] = []
+    v = 0
     for c in commodities:
-        terms = [(_var(c, i), -1.0) for i in range(len(path_sets[c]))]
-        terms.append(("F", 1.0))
-        lp.add_le(terms, 0.0)
+        for p in path_sets[c]:
+            for e in zip(p[:-1], p[1:]):
+                idx = edge_index.get(e)
+                if idx is None:
+                    raise ValueError(f"path {p} uses non-existent edge {e}")
+                ei.append(idx)
+                vi.append(v)
+            v += 1
+
+    # (22) link capacity, one row per edge actually used by some path.
+    ei_arr = np.asarray(ei, dtype=np.int64)
+    vi_arr = np.asarray(vi, dtype=np.int64)
+    lp.add_compressed_block(
+        [ei_arr], [p_vars[vi_arr]], [np.ones(len(vi_arr))],
+        rhs=lambda used: np.fromiter((caps[edges[i]] for i in used),
+                                     dtype=float, count=len(used)))
+
+    # (23) concurrent demand: F <= delivered weight, per commodity.
+    C = len(commodities)
+    lp.add_le_block(
+        rows=np.concatenate([np.repeat(np.arange(C), counts), np.arange(C)]),
+        cols=np.concatenate([p_vars, np.full(C, f_col)]),
+        vals=np.concatenate([-np.ones(total_paths), np.ones(C)]),
+        rhs=np.zeros(C))
     return lp
 
 
@@ -188,11 +206,14 @@ def solve_path_mcf(topology: Topology,
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
+    weights = solution.block("p")
     paths: Dict[Commodity, List[WeightedPath]] = {}
+    pos = 0
     for c in commodities:
         plist = []
-        for i, p in enumerate(frozen[c]):
-            w = solution.value(_var(c, i))
+        for p in frozen[c]:
+            w = float(weights[pos])
+            pos += 1
             if w > FLOW_TOL:
                 plist.append(WeightedPath(nodes=p, weight=w))
         # Keep at least the best candidate even if the LP left the commodity

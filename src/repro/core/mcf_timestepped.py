@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..constants import FLOW_TOL
 from ..engine import MCFProblem, register_formulation
 from ..engine import solve as engine_solve
@@ -35,16 +37,6 @@ from .flow import Commodity
 from .solver import LPBuilder
 
 __all__ = ["TimeSteppedFlow", "solve_timestepped_mcf"]
-
-
-def _f_key(c, e, t):
-    """LP variable key: flow of commodity ``c`` on edge ``e`` at step ``t``."""
-    return ("f", c, e, t)
-
-
-def _u_key(t):
-    """LP variable key: max link utilization of step ``t``."""
-    return ("U", t)
 
 
 @dataclass
@@ -108,62 +100,84 @@ class TimeSteppedFlow:
 
 @register_formulation("tsmcf")
 def build_timestepped_mcf(problem: MCFProblem) -> LPBuilder:
-    """Assemble the time-stepped MCF LP (eqs. 15-20) from a problem spec."""
-    from .mcf_link import terminal_commodities
+    """Assemble the time-stepped MCF LP (eqs. 15-20) with block/COO ops.
+
+    Variables live in two blocks — ``"U"`` (per-step utilizations) and
+    ``"f"`` of shape (commodities, edges, steps) — and every constraint
+    family is built as COO triplet batches over the (c, e, t) grid.  Only the
+    causality family (17) loops in Python, over the small step count.
+    """
+    from .mcf_link import terminal_commodities, topology_arrays
 
     topology = problem.topology
     num_steps = problem.params["num_steps"]
     terminals = problem.params.get("terminals")
     commodities = terminal_commodities(topology, terminals)
-    edges = topology.edges
-    caps = topology.capacities()
-    nodes = topology.nodes
-    steps = list(range(1, num_steps + 1))
+    edges, tails, heads, cap_arr = topology_arrays(topology)
+    num_nodes = topology.num_nodes
+    C, E, T = len(commodities), len(edges), int(num_steps)
 
     lp = LPBuilder()
-    for t in steps:
-        lp.add_variable(_u_key(t), lb=0.0, objective=1.0)
-    for c in commodities:
-        for e in edges:
-            for t in steps:
-                lp.add_variable(_f_key(c, e, t), lb=0.0, ub=1.0)
+    u_vars = lp.add_variable_block("U", (T,), lb=0.0, objective=1.0)
+    f = lp.add_variable_block("f", (C, E, T), lb=0.0, ub=1.0)
+
+    # Index grids over the (commodity, edge, step) variable space.
+    c_ids = np.repeat(np.arange(C), E * T)
+    e_ids = np.tile(np.repeat(np.arange(E), T), C)
+    t_ids = np.tile(np.arange(T), C * E)          # 0-based step index
+    var = f.ravel()
+    tail, head = tails[e_ids], heads[e_ids]
+    s_of = np.fromiter((c[0] for c in commodities), dtype=np.int64,
+                       count=C)[c_ids]
+    d_of = np.fromiter((c[1] for c in commodities), dtype=np.int64,
+                       count=C)[c_ids]
 
     # (16): per-step utilization bound, scaled by capacity so that a link of
-    # capacity cap can carry cap * U_t per step.
-    for e in edges:
-        for t in steps:
-            terms = [(_f_key(c, e, t), 1.0) for c in commodities]
-            terms.append((_u_key(t), -caps[e]))
-            lp.add_le(terms, 0.0)
+    # capacity cap can carry cap * U_t per step.  One row per (edge, step).
+    lp.add_le_block(
+        rows=np.concatenate([e_ids * T + t_ids, np.arange(E * T)]),
+        cols=np.concatenate([var, np.tile(u_vars, E)]),
+        vals=np.concatenate([np.ones(C * E * T), -np.repeat(cap_arr, T)]),
+        rhs=np.zeros(E * T))
 
-    out_edges = {u: topology.out_edges(u) for u in nodes}
-    in_edges = {u: topology.in_edges(u) for u in nodes}
+    # (17): cumulative store-and-forward causality at intermediate nodes for
+    # every step t (the t = 1 case degenerates to "nothing can be forwarded
+    # in step 1").  Variable (c, e, tp) with tail u enters row (c, u, t) for
+    # every t >= tp; inflow (head u) enters rows with t > tp.
+    plus_valid = (tail != s_of) & (tail != d_of)
+    minus_valid = (head != s_of) & (head != d_of)
+    key_parts, col_parts, val_parts = [], [], []
+    for t in range(T):
+        plus = plus_valid & (t_ids <= t)
+        minus = minus_valid & (t_ids < t)
+        key_parts.append((c_ids[plus] * num_nodes + tail[plus]) * T + t)
+        col_parts.append(var[plus])
+        val_parts.append(np.ones(int(plus.sum())))
+        key_parts.append((c_ids[minus] * num_nodes + head[minus]) * T + t)
+        col_parts.append(var[minus])
+        val_parts.append(-np.ones(int(minus.sum())))
+    lp.add_compressed_block(key_parts, col_parts, val_parts)
 
-    for s, d in commodities:
-        c = (s, d)
-        for u in nodes:
-            if u == s or u == d:
-                continue
-            # (17): cumulative store-and-forward causality for t > 1, plus the
-            # t = 1 special case (nothing received before step 1, so nothing
-            # can be forwarded in step 1).
-            for t in steps:
-                terms = [(_f_key(c, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
-                terms += [(_f_key(c, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
-                lp.add_le(terms, 0.0)
-            # (18): nothing retained at intermediate nodes at the end.
-            eq_terms = [(_f_key(c, e, t), 1.0) for e in out_edges[u] for t in steps]
-            eq_terms += [(_f_key(c, e, t), -1.0) for e in in_edges[u] for t in steps]
-            lp.add_eq(eq_terms, 0.0)
-        # (19): source sends exactly 1; destination receives exactly 1.
-        lp.add_eq([(_f_key(c, e, t), 1.0) for e in out_edges[s] for t in steps], 1.0)
-        lp.add_eq([(_f_key(c, e, t), 1.0) for e in in_edges[d] for t in steps], 1.0)
-        # Destination never re-emits and source never re-absorbs its own shard.
-        for t in steps:
-            for e in out_edges[d]:
-                lp.add_le([(_f_key(c, e, t), 1.0)], 0.0)
-            for e in in_edges[s]:
-                lp.add_le([(_f_key(c, e, t), 1.0)], 0.0)
+    # (18): nothing retained at intermediate nodes at the end.
+    lp.add_compressed_block(
+        [c_ids[plus_valid] * num_nodes + tail[plus_valid],
+         c_ids[minus_valid] * num_nodes + head[minus_valid]],
+        [var[plus_valid], var[minus_valid]],
+        [np.ones(int(plus_valid.sum())), -np.ones(int(minus_valid.sum()))],
+        equality=True)
+
+    # (19): source sends exactly 1; destination receives exactly 1.
+    emit = tail == s_of
+    lp.add_eq_block(c_ids[emit], var[emit], np.ones(int(emit.sum())),
+                    np.ones(C))
+    recv = head == d_of
+    lp.add_eq_block(c_ids[recv], var[recv], np.ones(int(recv.sum())),
+                    np.ones(C))
+
+    # Destination never re-emits and source never re-absorbs its own shard.
+    gag = (tail == d_of) | (head == s_of)
+    k = int(gag.sum())
+    lp.add_le_block(np.arange(k), var[gag], np.ones(k), np.zeros(k))
     return lp
 
 
@@ -203,7 +217,6 @@ def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
     start = time.perf_counter()
     commodities = terminal_commodities(topology, terminals)
     edges = topology.edges
-    steps = list(range(1, num_steps + 1))
 
     params: Dict[str, object] = {"num_steps": int(num_steps)}
     if terminals is not None:
@@ -212,16 +225,13 @@ def solve_timestepped_mcf(topology: Topology, num_steps: Optional[int] = None,
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
-    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
-    for c in commodities:
-        per: Dict[Tuple[int, int, int], float] = {}
-        for e in edges:
-            for t in steps:
-                val = solution.value(_f_key(c, e, t))
-                if val > FLOW_TOL:
-                    per[(e[0], e[1], t)] = val
-        flows[c] = per
-    utilizations = [max(solution.value(_u_key(t)), 0.0) for t in steps]
+    arr = np.asarray(solution.block("f"))
+    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {
+        c: {} for c in commodities}
+    for ci, ei, ti in zip(*np.nonzero(arr > FLOW_TOL)):
+        e = edges[ei]
+        flows[commodities[ci]][(e[0], e[1], int(ti) + 1)] = float(arr[ci, ei, ti])
+    utilizations = [max(float(u), 0.0) for u in solution.block("U")]
 
     return TimeSteppedFlow(
         num_steps=num_steps,

@@ -39,84 +39,91 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..constants import FLOW_TOL
 from ..engine import MCFProblem, ParallelRunner, register_formulation
 from ..engine import solve as engine_solve
-from ..topology.base import Edge, Topology
+from ..topology.base import Topology
 from .flow import Commodity
-from .mcf_link import terminal_commodities
+from .mcf_link import terminal_commodities, topology_arrays
 from .mcf_timestepped import TimeSteppedFlow
 from .solver import LPBuilder
 
 __all__ = ["solve_timestepped_mcf_decomposed"]
 
 
-def _g_key(s, e, t):
-    """Master-LP key: grouped flow of source ``s`` on edge ``e`` at step ``t``."""
-    return ("g", s, e, t)
-
-
-def _u_key(t):
-    """Master-LP key: max link utilization of step ``t``."""
-    return ("U", t)
-
-
-def _f_key(d, k):
-    """Child-LP key: flow to destination ``d`` on (edge, step) triple ``k``."""
-    return ("f", d, k)
-
-
 @register_formulation("tsmcf-master")
 def build_ts_master(problem: MCFProblem) -> LPBuilder:
-    """Assemble the source-grouped time-stepped master LP."""
+    """Assemble the source-grouped time-stepped master LP (block/COO ops)."""
     topology = problem.topology
     steps = list(problem.params["steps"])
     sources = list(problem.params["sources"])
     terminal_set = set(problem.params["terminal_set"])
 
-    edges = topology.edges
-    caps = topology.capacities()
-    nodes = topology.nodes
-    out_edges = {u: topology.out_edges(u) for u in nodes}
-    in_edges = {u: topology.in_edges(u) for u in nodes}
+    edges, tails, heads, cap_arr = topology_arrays(topology)
+    num_nodes = topology.num_nodes
+    S, E, T = len(sources), len(edges), len(steps)
+    src_arr = np.asarray(sources, dtype=np.int64)
+    term_arr = np.asarray(sorted(terminal_set), dtype=np.int64)
+    is_terminal = np.zeros(num_nodes, dtype=bool)
+    is_terminal[term_arr] = True
 
     lp = LPBuilder()
-    for t in steps:
-        lp.add_variable(_u_key(t), lb=0.0, objective=1.0)
-    for s in sources:
-        for e in edges:
-            for t in steps:
-                lp.add_variable(_g_key(s, e, t), lb=0.0)
+    u_vars = lp.add_variable_block("U", (T,), lb=0.0, objective=1.0)
+    g = lp.add_variable_block("g", (S, E, T), lb=0.0)
 
-    # Per-step utilization bound.
-    for e in edges:
-        for t in steps:
-            terms = [(_g_key(s, e, t), 1.0) for s in sources]
-            terms.append((_u_key(t), -caps[e]))
-            lp.add_le(terms, 0.0)
+    s_ids = np.repeat(np.arange(S), E * T)
+    e_ids = np.tile(np.repeat(np.arange(E), T), S)
+    t_ids = np.tile(np.arange(T), S * E)          # 0-based step index
+    var = g.ravel()
+    tail, head = tails[e_ids], heads[e_ids]
+    s_of = src_arr[s_ids]
 
-    for s in sources:
-        group_sinks = [u for u in nodes if u != s and u in terminal_set]
-        for u in nodes:
-            if u == s:
-                continue
-            # Causality: cumulative forwarded <= cumulative received (strictly
-            # earlier steps).  Data kept for sinking simply stays in the buffer.
-            for t in steps:
-                terms = [(_g_key(s, e, tp), 1.0) for e in out_edges[u] for tp in steps if tp <= t]
-                terms += [(_g_key(s, e, tpp), -1.0) for e in in_edges[u] for tpp in steps if tpp < t]
-                lp.add_le(terms, 0.0)
-            # Net retention at the end: 1 shard for terminals, 0 for relays.
-            retained = 1.0 if u in terminal_set else 0.0
-            eq_terms = [(_g_key(s, e, t), 1.0) for e in in_edges[u] for t in steps]
-            eq_terms += [(_g_key(s, e, t), -1.0) for e in out_edges[u] for t in steps]
-            lp.add_eq(eq_terms, retained)
-        # Source injects exactly one shard per destination and never re-absorbs.
-        lp.add_eq([(_g_key(s, e, t), 1.0) for e in out_edges[s] for t in steps],
-                  float(len(group_sinks)))
-        for e in in_edges[s]:
-            for t in steps:
-                lp.add_le([(_g_key(s, e, t), 1.0)], 0.0)
+    # Per-step utilization bound: one row per (edge, step).
+    lp.add_le_block(
+        rows=np.concatenate([e_ids * T + t_ids, np.arange(E * T)]),
+        cols=np.concatenate([var, np.tile(u_vars, E)]),
+        vals=np.concatenate([np.ones(S * E * T), -np.repeat(cap_arr, T)]),
+        rhs=np.zeros(E * T))
+
+    # Causality at every node u != s: cumulative forwarded <= cumulative
+    # received (strictly earlier steps).  Data kept for sinking simply stays
+    # in the buffer.
+    plus_valid = tail != s_of
+    minus_valid = head != s_of
+    key_parts, col_parts, val_parts = [], [], []
+    for t in range(T):
+        plus = plus_valid & (t_ids <= t)
+        minus = minus_valid & (t_ids < t)
+        key_parts.append((s_ids[plus] * num_nodes + tail[plus]) * T + t)
+        col_parts.append(var[plus])
+        val_parts.append(np.ones(int(plus.sum())))
+        key_parts.append((s_ids[minus] * num_nodes + head[minus]) * T + t)
+        col_parts.append(var[minus])
+        val_parts.append(-np.ones(int(minus.sum())))
+    lp.add_compressed_block(key_parts, col_parts, val_parts)
+
+    # Net retention at the end: 1 shard for terminals, 0 for relays
+    # (in minus out, at every node u != s).
+    lp.add_compressed_block(
+        [s_ids[minus_valid] * num_nodes + head[minus_valid],
+         s_ids[plus_valid] * num_nodes + tail[plus_valid]],
+        [var[minus_valid], var[plus_valid]],
+        [np.ones(int(minus_valid.sum())), -np.ones(int(plus_valid.sum()))],
+        equality=True,
+        rhs=lambda uniq: is_terminal[uniq % num_nodes].astype(float))
+
+    # Source injects exactly one shard per destination and never re-absorbs.
+    emit = tail == s_of
+    sinks_per_source = np.fromiter(
+        (sum(1 for u in term_arr if u != s) for s in sources),
+        dtype=float, count=S)
+    lp.add_eq_block(s_ids[emit], var[emit], np.ones(int(emit.sum())),
+                    sinks_per_source)
+    reabsorb = head == s_of
+    k = int(reabsorb.sum())
+    lp.add_le_block(np.arange(k), var[reabsorb], np.ones(k), np.zeros(k))
     return lp
 
 
@@ -137,59 +144,77 @@ def _solve_ts_master(topology: Topology, steps: List[int], sources: List[int],
     elapsed = time.perf_counter() - start
 
     edges = topology.edges
-    grouped: Dict[int, Dict[Tuple[int, int, int], float]] = {}
-    for s in sources:
-        per: Dict[Tuple[int, int, int], float] = {}
-        for e in edges:
-            for t in steps:
-                val = solution.value(_g_key(s, e, t))
-                if val > FLOW_TOL:
-                    per[(e[0], e[1], t)] = val
-        grouped[s] = per
-    utilizations = [max(solution.value(_u_key(t)), 0.0) for t in steps]
+    arr = np.asarray(solution.block("g"))
+    grouped: Dict[int, Dict[Tuple[int, int, int], float]] = {s: {} for s in sources}
+    for si, ei, ti in zip(*np.nonzero(arr > FLOW_TOL)):
+        e = edges[ei]
+        grouped[sources[si]][(e[0], e[1], steps[ti])] = float(arr[si, ei, ti])
+    utilizations = [max(float(u), 0.0) for u in solution.block("U")]
     return float(sum(utilizations)), grouped, utilizations, elapsed
 
 
 @register_formulation("tsmcf-child")
 def build_ts_child(problem: MCFProblem) -> LPBuilder:
-    """Assemble the per-source time-stepped child LP."""
+    """Assemble the per-source time-stepped child LP (block/COO ops)."""
     topology = problem.topology
     source = problem.params["source"]
     destinations = list(problem.params["destinations"])
     grouped = dict(problem.params["grouped"])
     steps = list(problem.params["steps"])
 
-    nodes = topology.nodes
+    num_nodes = topology.num_nodes
     used = sorted(grouped.keys())            # (u, v, t) triples with positive flow
-    out_used = {u: [k for k in used if k[0] == u] for u in nodes}
-    in_used = {u: [k for k in used if k[1] == u] for u in nodes}
+    D, K, T = len(destinations), len(used), len(steps)
+    k_tail = np.fromiter((k[0] for k in used), dtype=np.int64, count=K)
+    k_head = np.fromiter((k[1] for k in used), dtype=np.int64, count=K)
+    k_step = np.fromiter((k[2] for k in used), dtype=np.int64, count=K)
+    group_arr = np.fromiter((grouped[k] for k in used), dtype=float, count=K)
+    dest_arr = np.asarray(destinations, dtype=np.int64)
 
     lp = LPBuilder()
-    for d in destinations:
-        for k in used:
-            lp.add_variable(_f_key(d, k), lb=0.0, objective=1.0)
+    f = lp.add_variable_block("f", (D, K), lb=0.0, objective=1.0)
 
     # Grouped flow acts as per-(link, step) capacity.
-    for k in used:
-        lp.add_le([(_f_key(d, k), 1.0) for d in destinations], grouped[k])
+    lp.add_le_block(rows=np.repeat(np.arange(K), D), cols=f.T.ravel(),
+                    vals=np.ones(D * K), rhs=group_arr)
 
-    for d in destinations:
-        for u in nodes:
-            if u == source or u == d:
-                continue
-            # Causality per destination.
-            for t in steps:
-                terms = [(_f_key(d, k), 1.0) for k in out_used[u] if k[2] <= t]
-                terms += [(_f_key(d, k), -1.0) for k in in_used[u] if k[2] < t]
-                lp.add_le(terms, 0.0)
-            # Relays retain nothing of this shard.
-            eq = [(_f_key(d, k), 1.0) for k in out_used[u]]
-            eq += [(_f_key(d, k), -1.0) for k in in_used[u]]
-            lp.add_eq(eq, 0.0)
-        # The destination receives exactly one shard and never re-emits it.
-        lp.add_ge([(_f_key(d, k), 1.0) for k in in_used[d]], 1.0 - 1e-7)
-        for k in out_used[d]:
-            lp.add_le([(_f_key(d, k), 1.0)], 0.0)
+    d_ids = np.repeat(np.arange(D), K)
+    k_ids = np.tile(np.arange(K), D)
+    var = f.ravel()
+    tail, head = k_tail[k_ids], k_head[k_ids]
+    step = k_step[k_ids]
+    d_of = dest_arr[d_ids]
+
+    # Causality per destination at intermediate nodes (u != source, u != d).
+    plus_valid = (tail != source) & (tail != d_of)
+    minus_valid = (head != source) & (head != d_of)
+    key_parts, col_parts, val_parts = [], [], []
+    for t in steps:
+        plus = plus_valid & (step <= t)
+        minus = minus_valid & (step < t)
+        key_parts.append((d_ids[plus] * num_nodes + tail[plus]) * (T + 1) + t)
+        col_parts.append(var[plus])
+        val_parts.append(np.ones(int(plus.sum())))
+        key_parts.append((d_ids[minus] * num_nodes + head[minus]) * (T + 1) + t)
+        col_parts.append(var[minus])
+        val_parts.append(-np.ones(int(minus.sum())))
+    lp.add_compressed_block(key_parts, col_parts, val_parts)
+
+    # Relays retain nothing of this shard.
+    lp.add_compressed_block(
+        [d_ids[plus_valid] * num_nodes + tail[plus_valid],
+         d_ids[minus_valid] * num_nodes + head[minus_valid]],
+        [var[plus_valid], var[minus_valid]],
+        [np.ones(int(plus_valid.sum())), -np.ones(int(minus_valid.sum()))],
+        equality=True)
+
+    # The destination receives exactly one shard and never re-emits it.
+    recv = head == d_of
+    lp.add_ge_block(d_ids[recv], var[recv], np.ones(int(recv.sum())),
+                    np.full(D, 1.0 - 1e-7))
+    reemit = tail == d_of
+    k = int(reemit.sum())
+    lp.add_le_block(np.arange(k), var[reemit], np.ones(k), np.zeros(k))
     return lp
 
 
@@ -208,14 +233,11 @@ def _solve_ts_child(topology: Topology, source: int, destinations: List[int],
     solution = engine_solve(problem)
     elapsed = time.perf_counter() - start
 
-    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {}
-    for d in destinations:
-        per: Dict[Tuple[int, int, int], float] = {}
-        for k in used:
-            val = solution.value(_f_key(d, k))
-            if val > FLOW_TOL:
-                per[k] = val
-        flows[(source, d)] = per
+    arr = np.asarray(solution.block("f"))
+    flows: Dict[Commodity, Dict[Tuple[int, int, int], float]] = {
+        (source, d): {} for d in destinations}
+    for di, ki in zip(*np.nonzero(arr > FLOW_TOL)):
+        flows[(source, destinations[di])][used[ki]] = float(arr[di, ki])
     return flows, elapsed
 
 

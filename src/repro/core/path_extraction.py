@@ -20,7 +20,7 @@ the per-commodity flow satisfies conservation, which the repair step in
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..topology.base import Topology
 from .flow import Commodity, FlowSolution, WeightedPath, flow_to_paths

@@ -87,7 +87,6 @@ def estimate_path_diversity(topology: Topology, sample: int = 64, seed: int = 0)
     Used to decide between direct pMCF (low diversity, e.g. expanders) and
     MCF-extP (high diversity, e.g. tori) in the Fig. 1 flow.
     """
-    import math
     import random
 
     import networkx as nx
@@ -115,8 +114,9 @@ def generate_schedule(topology: Topology,
 
     if request.forwarding == ForwardingModel.HOST:
         if request.decompose_ts:
-            ts_solve = lambda topo, **kw: solve_timestepped_mcf_decomposed(
-                topo, n_jobs=request.n_jobs, **kw)
+            def ts_solve(topo, **kw):
+                return solve_timestepped_mcf_decomposed(
+                    topo, n_jobs=request.n_jobs, **kw)
         else:
             ts_solve = solve_timestepped_mcf
         work_topology = topology

@@ -7,21 +7,38 @@ the LP optima are solver independent, so HiGHS preserves every result that
 depends on optimal values (only absolute solve times differ, and Fig. 7 is
 about *scaling*, which is preserved).
 
-The :class:`LPBuilder` accumulates constraints row by row in COO form, which
-keeps construction vectorizable and avoids densifying what are extremely
-sparse matrices (a link-based MCF on N nodes and E edges has ~N^2*E variables
-but only a handful of nonzeros per row).
+The :class:`LPBuilder` supports two construction styles that share one column
+space and may be mixed freely in a single build:
+
+* the **legacy keyed API** (:meth:`~LPBuilder.add_variable`,
+  :meth:`~LPBuilder.add_le`, :meth:`~LPBuilder.add_eq`) registers one variable
+  per hashable key and one constraint per call — convenient for small LPs,
+  tests and baselines;
+* the **block API** (:meth:`~LPBuilder.add_variable_block`,
+  :meth:`~LPBuilder.add_le_block`, :meth:`~LPBuilder.add_eq_block`) reserves a
+  whole ndarray of variables at once and ingests constraints as COO triplet
+  arrays, so the large MCF formulations are assembled with a handful of numpy
+  operations instead of millions of per-key Python calls.
+
+Either way the LP is accumulated in COO form, which keeps construction
+vectorizable and avoids densifying what are extremely sparse matrices (a
+link-based MCF on N nodes and E edges has ~N^2*E variables but only a handful
+of nonzeros per row).  :meth:`~LPBuilder.to_arrays` canonicalizes the COO
+triplets deterministically (sorted by (row, col), duplicates summed) so two
+builds of the same LP produce bit-identical CSR matrices.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 __all__ = ["VariableIndex", "LPBuilder", "LPSolution", "SolverError"]
+
+_EMPTY_EQ_TOL = 1e-12
 
 
 class SolverError(RuntimeError):
@@ -35,11 +52,16 @@ class VariableIndex:
         self._index: Dict[Hashable, int] = {}
         self._keys: List[Hashable] = []
 
-    def add(self, key: Hashable) -> int:
-        """Register ``key`` (idempotent) and return its column index."""
+    def add(self, key: Hashable, index: Optional[int] = None) -> int:
+        """Register ``key`` (idempotent) and return its column index.
+
+        ``index`` pins the column explicitly — used by :class:`LPBuilder`,
+        whose keyed variables share one column space with variable blocks, so
+        columns are allocated by the builder rather than by insertion count.
+        """
         idx = self._index.get(key)
         if idx is None:
-            idx = len(self._keys)
+            idx = len(self._keys) if index is None else index
             self._index[key] = idx
             self._keys.append(key)
         return idx
@@ -54,58 +76,205 @@ class VariableIndex:
         return len(self._keys)
 
     def keys(self) -> List[Hashable]:
-        """All registered keys in column order."""
+        """All registered keys in registration (= ascending column) order."""
         return list(self._keys)
 
     def get(self, key: Hashable, default: Optional[int] = None) -> Optional[int]:
         return self._index.get(key, default)
 
+    def index_map(self) -> Dict[Hashable, int]:
+        """The live key -> column dict (treat as read-only)."""
+        return self._index
 
-@dataclass
+
+@dataclass(frozen=True)
+class _Block:
+    """A contiguous range of columns registered as one named variable block."""
+
+    name: str
+    start: int
+    shape: Tuple[int, ...]
+    lb: object            # float scalar or flat ndarray of length size
+    ub: object            # float scalar (inf for unbounded) or flat ndarray
+    objective: object     # float scalar or flat ndarray
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+
 class LPSolution:
-    """Result of an LP solve.
+    """Result of an LP solve, backed by the flat solution vector.
+
+    The solution holds the solver's raw ``x`` vector (or, for cache-restored
+    copies, per-block sparse arrays) and materializes per-key / per-block
+    views lazily:
+
+    * :meth:`value` / :attr:`values` cover variables registered through the
+      keyed API (``add_variable``);
+    * :meth:`block` returns the value ndarray of a variable block, shaped like
+      the block — the path the vectorized MCF extractors use.
 
     Attributes
     ----------
     objective:
         Optimal objective value in the *builder's* sense (i.e. negated back if
         the builder was maximizing).
-    values:
-        Mapping from variable key to optimal value.
     raw:
         The raw :class:`scipy.optimize.OptimizeResult` (None for solutions
         served from the cache, which strips it on store).
     info:
         Engine bookkeeping attached by :meth:`repro.engine.Engine.solve`:
-        cache status (``hit`` / ``miss`` / ``bypass``), backend name and LP
-        dimensions.  Empty when the builder is solved directly.
+        cache status (``hit`` / ``miss`` / ``bypass``), backend name, LP
+        dimensions and assembly/solve timings.  Empty when the builder is
+        solved directly.
     """
 
-    objective: float
-    values: Dict[Hashable, float]
-    raw: object = None
-    info: Dict[str, object] = field(default_factory=dict)
+    def __init__(self, objective: float, values: Optional[Dict[Hashable, float]] = None,
+                 raw: object = None, info: Optional[Dict[str, object]] = None,
+                 x: Optional[np.ndarray] = None,
+                 key_index: Optional[Dict[Hashable, int]] = None,
+                 blocks: Optional[Dict[str, object]] = None) -> None:
+        self.objective = objective
+        self.raw = raw
+        self.info: Dict[str, object] = {} if info is None else info
+        self._x = x
+        self._key_index = key_index
+        # Block storage: name -> ("slice", start, shape) view into x,
+        # ("sparse", shape, idx, vals) compacted form, or a dense ndarray
+        # (memoized reconstruction).
+        self._blocks: Dict[str, object] = {} if blocks is None else blocks
+        self._values = values
+
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> Dict[Hashable, float]:
+        """Keyed-variable values as a dict (materialized lazily, then cached)."""
+        if self._values is None:
+            if self._x is not None and self._key_index:
+                x = self._x
+                self._values = {k: float(x[i]) for k, i in self._key_index.items()}
+            else:
+                self._values = {}
+        return self._values
 
     def value(self, key: Hashable, default: float = 0.0) -> float:
-        """Optimal value of a variable (0.0 for unregistered keys)."""
-        return self.values.get(key, default)
+        """Optimal value of a keyed variable (``default`` for unknown keys)."""
+        if self._values is not None:
+            return self._values.get(key, default)
+        if self._key_index is not None and self._x is not None:
+            idx = self._key_index.get(key)
+            if idx is not None:
+                return float(self._x[idx])
+        return default
+
+    # ------------------------------------------------------------------ #
+    def block_names(self) -> List[str]:
+        """Names of the variable blocks this solution carries."""
+        return sorted(self._blocks)
+
+    def has_block(self, name: str) -> bool:
+        return name in self._blocks
+
+    def block(self, name: str) -> np.ndarray:
+        """Value ndarray of variable block ``name``, shaped like the block."""
+        entry = self._blocks.get(name)
+        if entry is None:
+            raise KeyError(f"solution has no variable block {name!r}; "
+                           f"available: {self.block_names()}")
+        if isinstance(entry, np.ndarray):
+            return entry
+        kind = entry[0]
+        if kind == "slice":
+            _, start, shape = entry
+            size = int(np.prod(shape)) if shape else 1
+            dense = np.asarray(self._x[start:start + size]).reshape(shape)
+        else:  # "sparse"
+            _, shape, idx, vals = entry
+            size = int(np.prod(shape)) if shape else 1
+            flat = np.zeros(size)
+            flat[idx] = vals
+            dense = flat.reshape(shape)
+        self._blocks[name] = dense
+        return dense
+
+    # ------------------------------------------------------------------ #
+    def clone(self, info: Optional[Dict[str, object]] = None) -> "LPSolution":
+        """Shallow copy, optionally swapping ``info`` (cache-hit bookkeeping)."""
+        return LPSolution(objective=self.objective, values=self._values,
+                          raw=self.raw, info=dict(self.info) if info is None else info,
+                          x=self._x, key_index=self._key_index,
+                          blocks=dict(self._blocks))
+
+    def portable(self, tol: float = 0.0) -> "LPSolution":
+        """Compact, picklable copy for the solution cache.
+
+        The raw solver result is stripped, keyed values are sparsified
+        (``value()`` defaults missing keys to 0.0 and every consumer
+        thresholds at ``FLOW_TOL`` anyway) and each variable block is stored
+        as flat (index, value) ndarrays of its above-``tol`` entries — MCF
+        solutions are overwhelmingly zeros, so this cuts the cache footprint
+        by orders of magnitude at paper scale.
+        """
+        blocks: Dict[str, object] = {}
+        for name in self._blocks:
+            arr = self.block(name)
+            flat = np.asarray(arr, dtype=float).ravel()
+            idx = np.flatnonzero(np.abs(flat) > tol)
+            blocks[name] = ("sparse", tuple(arr.shape),
+                            idx.astype(np.int64), flat[idx].copy())
+        sparse_values = {k: v for k, v in self.values.items() if abs(v) > tol}
+        return LPSolution(objective=self.objective, values=sparse_values,
+                          raw=None, info=dict(self.info), blocks=blocks)
+
+    # Pickle support (the instance has no __dict__-only state worth trimming,
+    # but the raw OptimizeResult must never travel; portable() handles that
+    # for the cache and this keeps ad-hoc pickles safe too).
+    def __getstate__(self):
+        return (self.objective, self._values, None, self.info, self._x,
+                self._key_index, self._blocks)
+
+    def __setstate__(self, state):
+        (self.objective, self._values, self.raw, self.info, self._x,
+         self._key_index, self._blocks) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LPSolution(objective={self.objective!r}, "
+                f"blocks={self.block_names()}, info={self.info!r})")
+
+
+def _as_bound_array(value: object, shape: Tuple[int, ...], default: float,
+                    what: str) -> object:
+    """Normalize a scalar-or-array block bound/objective spec."""
+    if value is None:
+        return default
+    if np.isscalar(value):
+        return float(value)
+    arr = np.broadcast_to(np.asarray(value, dtype=float), shape).ravel()
+    if not np.all(np.isfinite(arr) | np.isinf(arr)):
+        raise ValueError(f"non-finite {what} entries in block spec")
+    return np.array(arr)  # own the memory (broadcast_to returns a view)
 
 
 class LPBuilder:
-    """Incremental sparse LP builder.
+    """Incremental sparse LP builder (keyed + block construction styles).
 
-    Variables are referenced by arbitrary hashable keys.  Constraints are
-    expressed as ``sum(coeff * var) <= rhs`` (:meth:`add_le`) or ``== rhs``
-    (:meth:`add_eq`).  The objective is a linear form; set ``maximize=True`` on
-    :meth:`solve` to maximize it.
+    Keyed variables are referenced by arbitrary hashable keys; block variables
+    are referenced by the integer column indices returned from
+    :meth:`add_variable_block`.  Constraints are ``sum(coeff * var) <= rhs``
+    (:meth:`add_le` / :meth:`add_le_block`) or ``== rhs`` (:meth:`add_eq` /
+    :meth:`add_eq_block`).  The objective is a linear form; set
+    ``maximize=True`` on :meth:`solve` to maximize it.
     """
 
     def __init__(self) -> None:
         self.variables = VariableIndex()
+        self._blocks: Dict[str, _Block] = {}
+        self._ncols = 0
         self._objective: Dict[int, float] = {}
         self._lb: Dict[int, float] = {}
         self._ub: Dict[int, float] = {}
-        # COO triplets for inequality / equality constraints.
+        # Legacy per-call COO triplets (rows are absolute row numbers).
         self._ub_rows: List[int] = []
         self._ub_cols: List[int] = []
         self._ub_vals: List[float] = []
@@ -114,23 +283,79 @@ class LPBuilder:
         self._eq_cols: List[int] = []
         self._eq_vals: List[float] = []
         self._eq_rhs: List[float] = []
+        # Block COO chunks: (rows, cols, vals) ndarray triplets with absolute
+        # row numbers, concatenated lazily in to_arrays().
+        self._ub_chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._eq_chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._arrays_cache = None
 
+    # ------------------------------------------------------------------ #
+    # Variables
     # ------------------------------------------------------------------ #
     def add_variable(self, key: Hashable, lb: float = 0.0, ub: Optional[float] = None,
                      objective: float = 0.0) -> int:
-        """Register a variable with bounds and an objective coefficient."""
-        idx = self.variables.add(key)
+        """Register a keyed variable with bounds and an objective coefficient."""
+        idx = self.variables.get(key)
+        if idx is None:
+            idx = self.variables.add(key, index=self._ncols)
+            self._ncols += 1
         if objective:
             self._objective[idx] = self._objective.get(idx, 0.0) + objective
         self._lb[idx] = lb
         self._ub[idx] = np.inf if ub is None else ub
+        self._arrays_cache = None
         return idx
 
+    def add_variable_block(self, name: str, shape: Union[int, Sequence[int]],
+                           lb: object = 0.0, ub: object = None,
+                           objective: object = 0.0) -> np.ndarray:
+        """Reserve a contiguous block of variables and return its index array.
+
+        Parameters
+        ----------
+        name:
+            Block name, unique per builder; the solved values are retrieved
+            with ``solution.block(name)`` shaped like the block.
+        shape:
+            Int or tuple of ints — the logical shape of the block.
+        lb / ub / objective:
+            Scalars or arrays broadcastable to ``shape``.  ``ub=None`` means
+            unbounded above.
+
+        Returns
+        -------
+        numpy.ndarray
+            Column indices of the block's variables, shaped ``shape`` — use
+            fancy indexing / ``ravel()`` on it to produce the ``cols`` arrays
+            of :meth:`add_le_block` / :meth:`add_eq_block`.
+        """
+        if name in self._blocks:
+            raise ValueError(f"variable block {name!r} already registered")
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in block shape {shape}")
+        block = _Block(name=name, start=self._ncols, shape=shape,
+                       lb=_as_bound_array(lb, shape, 0.0, "lower bound"),
+                       ub=_as_bound_array(ub, shape, np.inf, "upper bound"),
+                       objective=_as_bound_array(objective, shape, 0.0, "objective"))
+        self._blocks[name] = block
+        self._ncols += block.size
+        self._arrays_cache = None
+        return np.arange(block.start, block.start + block.size,
+                         dtype=np.int64).reshape(shape)
+
     def set_objective(self, key: Hashable, coeff: float) -> None:
-        """Set (overwrite) the objective coefficient of an existing variable."""
+        """Set (overwrite) the objective coefficient of a keyed variable."""
         idx = self.variables[key]
         self._objective[idx] = coeff
+        self._arrays_cache = None
 
+    # ------------------------------------------------------------------ #
+    # Constraints — keyed API
+    # ------------------------------------------------------------------ #
     def add_le(self, terms: Iterable[Tuple[Hashable, float]], rhs: float) -> None:
         """Add constraint ``sum(coeff * var) <= rhs``."""
         row = len(self._ub_rhs)
@@ -148,6 +373,7 @@ class LPBuilder:
                 raise ValueError("infeasible empty constraint 0 <= negative rhs")
             return
         self._ub_rhs.append(float(rhs))
+        self._arrays_cache = None
 
     def add_ge(self, terms: Iterable[Tuple[Hashable, float]], rhs: float) -> None:
         """Add constraint ``sum(coeff * var) >= rhs`` (stored as <=)."""
@@ -165,49 +391,230 @@ class LPBuilder:
             self._eq_vals.append(float(coeff))
             wrote = True
         if not wrote:
-            if abs(rhs) > 1e-12:
+            if abs(rhs) > _EMPTY_EQ_TOL:
                 raise ValueError("infeasible empty equality constraint")
             return
         self._eq_rhs.append(float(rhs))
+        self._arrays_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Constraints — block API
+    # ------------------------------------------------------------------ #
+    def _coerce_triplets(self, rows, cols, vals, rhs):
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        vals = np.asarray(vals, dtype=float).ravel()
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=float)).ravel()
+        if not (len(rows) == len(cols) == len(vals)):
+            raise ValueError(
+                f"COO triplet length mismatch: {len(rows)} rows, "
+                f"{len(cols)} cols, {len(vals)} vals")
+        if len(rows):
+            if rows.min() < 0 or rows.max() >= len(rhs):
+                raise ValueError("block constraint row index outside rhs range")
+            if cols.min() < 0 or cols.max() >= self._ncols:
+                raise ValueError("block constraint column index outside "
+                                 "registered variables")
+        return rows, cols, vals, rhs
+
+    def _add_block(self, rows, cols, vals, rhs, equality: bool) -> None:
+        rows, cols, vals, rhs = self._coerce_triplets(rows, cols, vals, rhs)
+        nz = vals != 0.0
+        if not nz.all():
+            rows, cols, vals = rows[nz], cols[nz], vals[nz]
+        # Vacuous rows (no nonzero entries) are dropped — matching the keyed
+        # API — unless the empty constraint is itself infeasible.
+        occupied = np.bincount(rows, minlength=len(rhs)) > 0
+        if not occupied.all():
+            empty_rhs = rhs[~occupied]
+            if equality:
+                if np.any(np.abs(empty_rhs) > _EMPTY_EQ_TOL):
+                    raise ValueError("infeasible empty equality constraint")
+            elif np.any(empty_rhs < 0):
+                raise ValueError("infeasible empty constraint 0 <= negative rhs")
+            renumber = np.cumsum(occupied) - 1
+            rows = renumber[rows]
+            rhs = rhs[occupied]
+        if not len(rhs):
+            return
+        rhs_list = self._eq_rhs if equality else self._ub_rhs
+        chunks = self._eq_chunks if equality else self._ub_chunks
+        chunks.append((rows + len(rhs_list), cols, vals))
+        rhs_list.extend(rhs.tolist())
+        self._arrays_cache = None
+
+    def add_le_block(self, rows, cols, vals, rhs) -> None:
+        """Add a batch of ``<=`` constraints from COO triplet arrays.
+
+        ``rows`` indexes into ``rhs`` (one constraint per rhs entry, local to
+        this call), ``cols`` are global column indices (from the index arrays
+        returned by :meth:`add_variable_block`, or keyed-variable indices),
+        ``vals`` the coefficients.  Zero coefficients are dropped; rows left
+        with no entries are dropped like vacuous keyed constraints (raising if
+        the empty constraint ``0 <= rhs`` is infeasible).  Repeated
+        ``(row, col)`` entries are summed deterministically in
+        :meth:`to_arrays`.
+        """
+        self._add_block(rows, cols, vals, rhs, equality=False)
+
+    def add_ge_block(self, rows, cols, vals, rhs) -> None:
+        """Add a batch of ``>=`` constraints (stored negated as ``<=``)."""
+        rows, cols, vals, rhs = self._coerce_triplets(rows, cols, vals, rhs)
+        self._add_block(rows, cols, -vals, -rhs, equality=False)
+
+    def add_eq_block(self, rows, cols, vals, rhs) -> None:
+        """Add a batch of ``==`` constraints from COO triplet arrays."""
+        self._add_block(rows, cols, vals, rhs, equality=True)
+
+    def add_compressed_block(self, key_parts, col_parts, val_parts,
+                             equality: bool = False, rhs=None) -> np.ndarray:
+        """Add constraints whose rows are identified by arbitrary integer keys.
+
+        The workhorse of the vectorized MCF assemblers: each constraint
+        family arrives as parallel lists of (row-key, column, value) array
+        parts — e.g. the +1 outflow and -1 inflow halves of a flow-balance
+        family keyed by ``commodity * N + node``.  The parts are
+        concatenated, the used keys compressed to consecutive row ids (in
+        ascending key order), and the batch added as one ``<=`` (default) or
+        ``==`` call.
+
+        ``rhs`` may be None (zeros), a callable mapping the unique key array
+        to an rhs array (for key-dependent right-hand sides), or an array
+        aligned with the compressed rows.  Returns the unique key array.
+        """
+        keys = np.concatenate([np.asarray(k, dtype=np.int64) for k in key_parts])
+        cols = np.concatenate([np.asarray(c, dtype=np.int64) for c in col_parts])
+        vals = np.concatenate([np.asarray(v, dtype=float) for v in val_parts])
+        uniq, rows = np.unique(keys, return_inverse=True)
+        if rhs is None:
+            rhs_arr = np.zeros(len(uniq))
+        elif callable(rhs):
+            rhs_arr = rhs(uniq)
+        else:
+            rhs_arr = rhs
+        add = self.add_eq_block if equality else self.add_le_block
+        add(rows, cols, vals, rhs_arr)
+        return uniq
 
     # ------------------------------------------------------------------ #
     @property
     def num_variables(self) -> int:
-        return len(self.variables)
+        return self._ncols
 
     @property
     def num_constraints(self) -> int:
         return len(self._ub_rhs) + len(self._eq_rhs)
 
+    def block_index(self, name: str) -> np.ndarray:
+        """Column index array of a registered block (same as the one returned
+        by :meth:`add_variable_block`)."""
+        block = self._blocks[name]
+        return np.arange(block.start, block.start + block.size,
+                         dtype=np.int64).reshape(block.shape)
+
+    def block_names(self) -> List[str]:
+        return sorted(self._blocks)
+
+    # ------------------------------------------------------------------ #
+    def _gather_coo(self, legacy_rows, legacy_cols, legacy_vals, chunks):
+        parts = [(np.asarray(legacy_rows, dtype=np.int64),
+                  np.asarray(legacy_cols, dtype=np.int64),
+                  np.asarray(legacy_vals, dtype=float))] if legacy_rows else []
+        parts.extend(chunks)
+        if not parts:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                    np.empty(0))
+        rows = np.concatenate([p[0] for p in parts])
+        cols = np.concatenate([p[1] for p in parts])
+        vals = np.concatenate([p[2] for p in parts])
+        return rows, cols, vals
+
+    @staticmethod
+    def _dedupe_coo(rows, cols, vals):
+        """Canonicalize COO triplets: sort by (row, col), sum duplicates.
+
+        scipy's ``tocsr`` also sums duplicates, but its summation order
+        depends on the input ordering; sorting first makes the assembled
+        matrix (data array included) bit-identical across equivalent builds.
+        """
+        if not len(rows):
+            return rows, cols, vals
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        boundary = np.empty(len(rows), dtype=bool)
+        boundary[0] = True
+        np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1],
+                      out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        if len(starts) != len(rows):
+            vals = np.add.reduceat(vals, starts)
+            rows, cols = rows[starts], cols[starts]
+        return rows, cols, vals
+
     def to_arrays(self):
-        """Assemble the LP into scipy-ready arrays.
+        """Assemble the LP into scipy-ready arrays (memoized until mutated).
 
         Returns ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` with the objective in
-        *minimization* sense (backends negate for maximization) and the
-        constraint matrices in CSR form (None when a block is empty).
+        *minimization* sense (backends negate for maximization), the
+        constraint matrices in canonical CSR form (None when a block is
+        empty), and ``bounds`` as an ``(n, 2)`` float array using ``inf`` for
+        unbounded entries.
         """
+        if self._arrays_cache is not None:
+            return self._arrays_cache
         n = self.num_variables
         c = np.zeros(n)
-        for idx, coeff in self._objective.items():
-            c[idx] = coeff
+        lb = np.zeros(n)
+        ub = np.full(n, np.inf)
+        if self._objective:
+            idx = np.fromiter(self._objective, dtype=np.int64,
+                              count=len(self._objective))
+            c[idx] = np.fromiter(self._objective.values(), dtype=float,
+                                 count=len(self._objective))
+        if self._lb:
+            idx = np.fromiter(self._lb, dtype=np.int64, count=len(self._lb))
+            lb[idx] = np.fromiter(self._lb.values(), dtype=float,
+                                  count=len(self._lb))
+        if self._ub:
+            idx = np.fromiter(self._ub, dtype=np.int64, count=len(self._ub))
+            ub[idx] = np.fromiter(self._ub.values(), dtype=float,
+                                  count=len(self._ub))
+        for block in self._blocks.values():
+            stop = block.start + block.size
+            lb[block.start:stop] = block.lb
+            ub[block.start:stop] = block.ub
+            c[block.start:stop] = block.objective
 
         a_ub = b_ub = a_eq = b_eq = None
         if self._ub_rhs:
-            a_ub = sp.coo_matrix(
-                (self._ub_vals, (self._ub_rows, self._ub_cols)),
-                shape=(len(self._ub_rhs), n),
-            ).tocsr()
+            rows, cols, vals = self._dedupe_coo(*self._gather_coo(
+                self._ub_rows, self._ub_cols, self._ub_vals, self._ub_chunks))
+            a_ub = sp.csr_matrix((vals, (rows, cols)),
+                                 shape=(len(self._ub_rhs), n))
             b_ub = np.asarray(self._ub_rhs)
         if self._eq_rhs:
-            a_eq = sp.coo_matrix(
-                (self._eq_vals, (self._eq_rows, self._eq_cols)),
-                shape=(len(self._eq_rhs), n),
-            ).tocsr()
+            rows, cols, vals = self._dedupe_coo(*self._gather_coo(
+                self._eq_rows, self._eq_cols, self._eq_vals, self._eq_chunks))
+            a_eq = sp.csr_matrix((vals, (rows, cols)),
+                                 shape=(len(self._eq_rhs), n))
             b_eq = np.asarray(self._eq_rhs)
 
-        bounds = [(self._lb.get(i, 0.0), None if np.isinf(self._ub.get(i, np.inf))
-                   else self._ub.get(i)) for i in range(n)]
-        return c, a_ub, b_ub, a_eq, b_eq, bounds
+        bounds = np.column_stack([lb, ub])
+        self._arrays_cache = (c, a_ub, b_ub, a_eq, b_eq, bounds)
+        return self._arrays_cache
+
+    def make_solution(self, x, objective: float, raw: object = None) -> LPSolution:
+        """Wrap a solver's ``x`` vector as an array-backed :class:`LPSolution`.
+
+        Keyed variables stay addressable through :meth:`LPSolution.value`;
+        variable blocks through :meth:`LPSolution.block`.  Nothing is copied
+        or materialized eagerly.
+        """
+        blocks = {name: ("slice", b.start, b.shape)
+                  for name, b in self._blocks.items()}
+        return LPSolution(objective=objective, raw=raw,
+                          x=np.asarray(x, dtype=float),
+                          key_index=self.variables.index_map(), blocks=blocks)
 
     def solve(self, maximize: bool = False, method: str = "highs") -> LPSolution:
         """Solve the accumulated LP through a registered engine backend.

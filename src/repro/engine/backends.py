@@ -49,11 +49,13 @@ class ScipyHighsBackend:
         import numpy as np
         from scipy.optimize import linprog
 
-        from ..core.solver import LPSolution, SolverError
+        from ..core.solver import SolverError
 
         n = builder.num_variables
         if n == 0:
-            return LPSolution(objective=0.0, values={}, raw=None)
+            # Trivial LP: keep the (empty) block views resolvable so
+            # degenerate formulations can still extract by block name.
+            return builder.make_solution(np.zeros(0), 0.0)
         c, a_ub, b_ub, a_eq, b_eq, bounds = builder.to_arrays()
         if maximize:
             c = -c
@@ -64,9 +66,8 @@ class ScipyHighsBackend:
         objective = float(result.fun)
         if maximize:
             objective = -objective
-        values = {key: float(result.x[builder.variables[key]])
-                  for key in builder.variables.keys()}
-        return LPSolution(objective=objective, values=values, raw=result)
+        # Array-backed solution: per-key / per-block views materialize lazily.
+        return builder.make_solution(result.x, objective, raw=result)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ScipyHighsBackend(name={self.name!r}, method={self.method!r})"

@@ -17,7 +17,6 @@ import os
 import pickle
 import tempfile
 import threading
-from dataclasses import replace
 from typing import Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,19 +73,21 @@ class SolutionCache:
     def put(self, key: str, solution: "LPSolution") -> None:
         """Store a solution under ``key`` in both tiers.
 
-        The stored copy is compacted: the raw OptimizeResult is stripped (it
-        is large, solver-internal, and never read back from the cache) and
-        near-zero variable values are dropped — ``LPSolution.value()``
-        defaults missing keys to 0.0 and every consumer thresholds at
-        ``FLOW_TOL`` anyway, while MCF solutions are overwhelmingly zeros, so
-        this cuts the footprint by orders of magnitude at paper scale.
+        The stored copy is :meth:`LPSolution.portable`: the raw
+        OptimizeResult is stripped (it is large, solver-internal, and never
+        read back from the cache), keyed values are sparsified, and each
+        variable block is stored as flat (index, value) ndarrays of its
+        above-``FLOW_TOL`` entries instead of a full per-key dict —
+        ``LPSolution.value()`` defaults missing keys to 0.0 and every
+        consumer thresholds at ``FLOW_TOL`` anyway, while MCF solutions are
+        overwhelmingly zeros, so this cuts the footprint by orders of
+        magnitude at paper scale.
         """
         if not self.enabled:
             return
         from ..constants import FLOW_TOL
 
-        sparse = {k: v for k, v in solution.values.items() if abs(v) > FLOW_TOL}
-        portable = replace(solution, raw=None, values=sparse)
+        portable = solution.portable(tol=FLOW_TOL)
         with self._lock:
             self._insert(key, portable)
             self.stores += 1

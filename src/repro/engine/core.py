@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import replace
+import time
 from typing import Optional, TYPE_CHECKING
 
 from .backends import get_backend
@@ -60,16 +60,27 @@ class Engine:
             if cached is not None:
                 info = dict(cached.info)
                 info["cache"] = "hit"
-                return replace(cached, info=info)
+                # The stored timings describe the original miss, not this
+                # call; drop them so hit-path phase accounting can't read
+                # stale assembly/solve seconds as if they were spent now.
+                info.pop("assemble_seconds", None)
+                info.pop("solve_seconds", None)
+                return cached.clone(info=info)
         assembler = get_formulation(problem.formulation)
+        t0 = time.perf_counter()
         builder = assembler(problem)
+        builder.to_arrays()  # memoized; charges matrix assembly to assembly time
+        t1 = time.perf_counter()
         solution = get_backend(backend_name).solve(builder, maximize=problem.maximize)
+        t2 = time.perf_counter()
         solution.info = {
             "cache": "miss" if caching else "bypass",
             "backend": backend_name,
             "key": key[:16],
             "num_variables": builder.num_variables,
             "num_constraints": builder.num_constraints,
+            "assemble_seconds": t1 - t0,
+            "solve_seconds": t2 - t1,
         }
         if caching:
             self.cache.put(key, solution)

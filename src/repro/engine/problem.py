@@ -42,9 +42,18 @@ def canonical_value(obj: object) -> object:
     """Reduce ``obj`` to a deterministic, order-independent hashable form.
 
     Mappings become sorted key/value tuples, sets become sorted tuples, and
-    sequences become tuples; anything else must round-trip through ``repr``
-    deterministically (true for ints, floats, strings, bools and None).
+    sequences become tuples; numpy scalars and arrays (which vectorized
+    callers naturally produce) are lowered to Python scalars / nested tuples
+    so equal problems hash equally regardless of array vs list params.
+    Anything else must round-trip through ``repr`` deterministically (true
+    for ints, floats, strings, bools and None).
     """
+    import numpy as np
+
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return tuple(canonical_value(v) for v in obj.tolist())
     if isinstance(obj, Mapping):
         items = [(canonical_value(k), canonical_value(v)) for k, v in obj.items()]
         return ("mapping", tuple(sorted(items, key=repr)))

@@ -9,7 +9,7 @@ to choose between pMCF and MCF-extP (Fig. 1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 

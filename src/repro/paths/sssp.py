@@ -11,8 +11,7 @@ paths or look ahead.
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 

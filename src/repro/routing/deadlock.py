@@ -13,7 +13,7 @@ what the LASH-style assignment in :mod:`repro.routing.lash` ensures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 import networkx as nx
 

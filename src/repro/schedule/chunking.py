@@ -21,10 +21,8 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.flow import Commodity, WeightedPath
 from ..core.mcf_path import PathSchedule
 from ..core.mcf_timestepped import TimeSteppedFlow
-from ..topology.base import Topology
 from .ir import Chunk, LinkSchedule, LinkSendOp, RouteAssignment, RoutedSchedule
 
 __all__ = [

@@ -16,7 +16,7 @@ the Microsoft runtime -- the real testbed is substituted by our simulator.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from .ir import LinkSchedule
 

@@ -16,7 +16,7 @@ The number of distinct layers is what the LASH/DF-SSSP assignment minimizes.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .ir import RoutedSchedule
 

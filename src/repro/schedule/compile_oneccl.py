@@ -12,7 +12,7 @@ sends that will be forwarded later write into the peer's scratch buffer.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, List
+from typing import Dict
 
 from .ir import LinkSchedule
 

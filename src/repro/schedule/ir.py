@@ -17,7 +17,7 @@ multiplies by ``m`` when emitting XML for a specific buffer size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..topology.base import Edge, Topology
 from ..core.flow import Commodity

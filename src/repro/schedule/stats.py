@@ -11,7 +11,7 @@ chunking).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List
 
 from ..topology.base import Edge
 from .ir import LinkSchedule, RoutedSchedule

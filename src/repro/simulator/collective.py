@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..schedule.ir import LinkSchedule, RoutedSchedule
 from ..schedule.validate import validate_link_schedule, validate_routed_schedule
-from ..topology.base import Topology
 from .fabric import FabricModel
 from .flowsim import FluidFlow, simulate_flows
 from .stepsim import simulate_link_schedule

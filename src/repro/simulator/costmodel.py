@@ -7,7 +7,6 @@ cross-check the simulators' asymptotic behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..topology.base import Topology

@@ -14,7 +14,7 @@ All bandwidths are stored in bytes/second and latencies in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["FabricModel", "GBPS", "GIBI", "cerio_hpc_fabric", "a100_ml_fabric", "ideal_fabric"]

@@ -22,7 +22,7 @@ loaded link drains last -- which is exactly the effect Fig. 4/5 measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..topology.base import Edge, Topology

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..schedule.ir import LinkSchedule
-from ..topology.base import Edge, Topology
 from .fabric import FabricModel
 
 __all__ = ["StepSimResult", "simulate_link_schedule"]

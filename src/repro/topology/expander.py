@@ -9,7 +9,6 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional
 
 import networkx as nx
 

@@ -20,12 +20,12 @@ families occupy the high-degree / low-diameter corner of the design space.
 from __future__ import annotations
 
 import itertools
-from typing import List, Sequence
+from typing import Sequence
 
 import networkx as nx
 
 from .base import Topology
-from .torus import coordinate_of, node_of
+from .torus import node_of
 
 __all__ = ["hyperx", "flattened_butterfly"]
 

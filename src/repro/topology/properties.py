@@ -9,9 +9,8 @@ topology generators.
 
 from __future__ import annotations
 
-import itertools
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import networkx as nx
 import numpy as np

@@ -15,9 +15,8 @@ all-to-alls timed on the simulated fabric with the schedule under test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Optional, Union
 
-import numpy as np
 
 from ..core.mcf_path import PathSchedule
 from ..schedule.chunking import chunk_path_schedule
@@ -25,7 +24,6 @@ from ..schedule.ir import LinkSchedule, RoutedSchedule
 from ..simulator.collective import run_link_collective, run_routed_collective
 from ..simulator.fabric import FabricModel
 from ..topology.base import Topology
-from .traffic import skewed_alltoall, uniform_alltoall
 
 __all__ = ["DLRMConfig", "DLRMIterationResult", "simulate_dlrm_iteration"]
 

@@ -19,8 +19,8 @@ their all-to-all times.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
 
 import numpy as np
 

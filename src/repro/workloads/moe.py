@@ -15,11 +15,10 @@ exchanges for a schedule under test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 
-from ..core.flow import Commodity
 from ..core.mcf_path import PathSchedule
 from ..schedule.chunking import chunk_path_schedule
 from ..schedule.ir import LinkSchedule, RoutedSchedule

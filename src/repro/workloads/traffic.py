@@ -10,12 +10,11 @@ generators.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..core.flow import Commodity
-from ..topology.base import Topology
 
 __all__ = [
     "uniform_alltoall",

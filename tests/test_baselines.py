@@ -16,15 +16,7 @@ from repro.baselines import (
 from repro.core import solve_decomposed_mcf
 from repro.paths import edge_disjoint_path_sets
 from repro.schedule import validate_link_schedule
-from repro.topology import (
-    bidirectional_ring,
-    complete,
-    complete_bipartite,
-    generalized_kautz,
-    hypercube,
-    ring,
-    torus_2d,
-)
+from repro.topology import bidirectional_ring, complete, hypercube, ring
 
 
 class TestILP:

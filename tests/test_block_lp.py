@@ -1,0 +1,247 @@
+"""Tests for the block-based LP construction API and array-backed solutions.
+
+Covers the four satellite guarantees of the block layer:
+
+* block and legacy keyed builds of the same LP produce identical
+  ``to_arrays`` output (matrices, rhs, bounds, objective);
+* vacuous block constraints follow the keyed API's drop/raise semantics;
+* array-backed ``LPSolution.value`` / ``.values`` match the old dict path;
+* array-backed solutions round-trip through the engine's solution cache
+  (memory and disk tiers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import LPBuilder, LPSolution
+from repro.engine import Engine, MCFProblem, SolutionCache
+from repro.topology import hypercube
+
+
+def _legacy_build():
+    """3-variable LP via the keyed API."""
+    lp = LPBuilder()
+    lp.add_variable("x0", lb=0.0, ub=2.0, objective=1.0)
+    lp.add_variable("x1", lb=0.5, objective=2.0)
+    lp.add_variable("x2", lb=0.0, objective=3.0)
+    lp.add_le([("x0", 1.0), ("x1", 1.0)], 4.0)
+    lp.add_le([("x1", 2.0), ("x2", -1.0)], 1.0)
+    lp.add_eq([("x0", 1.0), ("x2", 1.0)], 2.0)
+    return lp
+
+
+def _block_build():
+    """The same LP via one variable block and COO batches."""
+    lp = LPBuilder()
+    x = lp.add_variable_block("x", 3, lb=[0.0, 0.5, 0.0],
+                              ub=[2.0, np.inf, np.inf],
+                              objective=[1.0, 2.0, 3.0])
+    lp.add_le_block(rows=[0, 0, 1, 1], cols=[x[0], x[1], x[1], x[2]],
+                    vals=[1.0, 1.0, 2.0, -1.0], rhs=[4.0, 1.0])
+    lp.add_eq_block(rows=[0, 0], cols=[x[0], x[2]], vals=[1.0, 1.0], rhs=[2.0])
+    return lp
+
+
+def _as_comparable(arrays):
+    c, a_ub, b_ub, a_eq, b_eq, bounds = arrays
+    out = [np.asarray(c), np.asarray(bounds)]
+    for a, b in ((a_ub, b_ub), (a_eq, b_eq)):
+        if a is None:
+            out.extend([None, None, None, None])
+        else:
+            coo = a.tocoo()
+            out.extend([coo.row, coo.col, coo.data, np.asarray(b)])
+    return out
+
+
+class TestBlockLegacyParity:
+    def test_identical_to_arrays_output(self):
+        for got, want in zip(_as_comparable(_block_build().to_arrays()),
+                             _as_comparable(_legacy_build().to_arrays())):
+            if want is None:
+                assert got is None
+            else:
+                np.testing.assert_array_equal(got, want)
+
+    def test_identical_optimum(self):
+        a = _legacy_build().solve(maximize=True)
+        b = _block_build().solve(maximize=True)
+        assert b.objective == pytest.approx(a.objective)
+
+    def test_mixed_build_matches_pure_builds(self):
+        # Keyed variable first, then a block, with keyed and block
+        # constraints interleaved — one shared column/row space.
+        lp = LPBuilder()
+        x0 = lp.add_variable("x0", lb=0.0, ub=2.0, objective=1.0)
+        x = lp.add_variable_block("rest", 2, lb=[0.5, 0.0],
+                                  objective=[2.0, 3.0])
+        lp.add_le_block(rows=[0, 0], cols=[x0, x[0]], vals=[1.0, 1.0],
+                        rhs=[4.0])
+        lp.add_le_block(rows=[0, 0], cols=[x[0], x[1]], vals=[2.0, -1.0],
+                        rhs=[1.0])
+        lp.add_eq_block(rows=[0, 0], cols=[x0, x[1]], vals=[1.0, 1.0],
+                        rhs=[2.0])
+        for got, want in zip(_as_comparable(lp.to_arrays()),
+                             _as_comparable(_legacy_build().to_arrays())):
+            if want is None:
+                assert got is None
+            else:
+                np.testing.assert_array_equal(got, want)
+
+    def test_duplicate_coo_entries_summed_deterministically(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 2)
+        lp.add_le_block(rows=[0, 0, 0], cols=[x[0], x[0], x[1]],
+                        vals=[1.0, 2.0, 1.0], rhs=[5.0])
+        _, a_ub, b_ub, _, _, _ = lp.to_arrays()
+        coo = a_ub.tocoo()
+        np.testing.assert_array_equal(coo.col, [0, 1])
+        np.testing.assert_array_equal(coo.data, [3.0, 1.0])
+        assert b_ub[0] == 5.0
+
+
+class TestVacuousBlockConstraints:
+    def test_empty_rows_dropped(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 2, objective=1.0)
+        # Middle row has only a zero coefficient -> vacuous, dropped.
+        lp.add_le_block(rows=[0, 1, 2], cols=[x[0], x[1], x[1]],
+                        vals=[1.0, 0.0, 1.0], rhs=[1.0, 9.0, 2.0])
+        assert lp.num_constraints == 2
+        sol = lp.solve(maximize=True)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_entirely_empty_batch_is_a_no_op(self):
+        lp = LPBuilder()
+        lp.add_variable_block("x", 2, ub=1.0, objective=1.0)
+        lp.add_le_block(rows=[], cols=[], vals=[], rhs=[0.0, 5.0])
+        assert lp.num_constraints == 0
+        assert lp.solve(maximize=True).objective == pytest.approx(2.0)
+
+    def test_infeasible_empty_le_row_raises(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 1)
+        with pytest.raises(ValueError):
+            lp.add_le_block(rows=[0], cols=[x[0]], vals=[0.0], rhs=[-1.0])
+
+    def test_infeasible_empty_eq_row_raises(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 1)
+        with pytest.raises(ValueError):
+            lp.add_eq_block(rows=[0], cols=[x[0]], vals=[0.0], rhs=[3.0])
+
+    def test_out_of_range_indices_rejected(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 2)
+        with pytest.raises(ValueError):
+            lp.add_le_block(rows=[5], cols=[x[0]], vals=[1.0], rhs=[1.0])
+        with pytest.raises(ValueError):
+            lp.add_le_block(rows=[0], cols=[99], vals=[1.0], rhs=[1.0])
+
+    def test_duplicate_block_name_rejected(self):
+        lp = LPBuilder()
+        lp.add_variable_block("x", 2)
+        with pytest.raises(ValueError):
+            lp.add_variable_block("x", 3)
+
+
+class TestArrayBackedSolution:
+    def test_value_parity_with_dict_path(self):
+        lp = _legacy_build()
+        sol = lp.solve(maximize=True)
+        # Lazy per-key access and the materialized dict agree.
+        for key in ("x0", "x1", "x2"):
+            assert sol.value(key) == pytest.approx(sol.values[key])
+        assert sol.value("missing", default=-3.0) == -3.0
+        assert set(sol.values) == {"x0", "x1", "x2"}
+
+    def test_block_view_shape_and_values(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", (2, 2), ub=[[1.0, 2.0], [3.0, 4.0]],
+                                  objective=1.0)
+        assert x.shape == (2, 2)
+        sol = lp.solve(maximize=True)
+        np.testing.assert_allclose(sol.block("x"), [[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(KeyError):
+            sol.block("nope")
+
+    def test_mixed_solution_keyed_and_block_access(self):
+        lp = LPBuilder()
+        lp.add_variable("y", lb=0.0, ub=5.0, objective=1.0)
+        lp.add_variable_block("x", 2, ub=2.0, objective=1.0)
+        sol = lp.solve(maximize=True)
+        assert sol.value("y") == pytest.approx(5.0)
+        np.testing.assert_allclose(sol.block("x"), [2.0, 2.0])
+
+    def test_portable_sparsifies_blocks(self):
+        lp = LPBuilder()
+        x = lp.add_variable_block("x", 4, ub=[0.0, 3.0, 0.0, 1.0],
+                                  objective=1.0)
+        sol = lp.solve(maximize=True)
+        portable = sol.portable(tol=1e-9)
+        assert portable.raw is None
+        kind, shape, idx, vals = portable._blocks["x"]
+        assert kind == "sparse" and shape == (4,)
+        np.testing.assert_array_equal(idx, [1, 3])
+        np.testing.assert_allclose(portable.block("x"), [0.0, 3.0, 0.0, 1.0])
+
+
+class TestCacheRoundTrip:
+    def test_memory_tier_round_trip_of_blocks(self):
+        engine = Engine()
+        problem = MCFProblem("mcf-link", hypercube(3), maximize=True)
+        fresh = engine.solve(problem)
+        cached = engine.solve(problem)
+        assert cached.info["cache"] == "hit"
+        assert cached.objective == fresh.objective
+        from repro.constants import FLOW_TOL
+
+        f_fresh = np.asarray(fresh.block("f"))
+        f_cached = np.asarray(cached.block("f"))
+        assert f_fresh.shape == f_cached.shape
+        significant = np.abs(f_fresh) > FLOW_TOL
+        np.testing.assert_array_equal(f_cached[significant], f_fresh[significant])
+        assert np.all(np.abs(f_cached[~significant]) <= FLOW_TOL)
+        assert cached.value("F") == pytest.approx(fresh.value("F"))
+
+    def test_disk_tier_round_trip_of_blocks(self, tmp_path):
+        problem = MCFProblem("mcf-link", hypercube(3), maximize=True)
+        writer = Engine(cache=SolutionCache(cache_dir=str(tmp_path)))
+        fresh = writer.solve(problem)
+        reader = Engine(cache=SolutionCache(cache_dir=str(tmp_path)))
+        restored = reader.solve(problem)
+        assert restored.info["cache"] == "hit"
+        assert reader.cache.disk_hits == 1
+        from repro.constants import FLOW_TOL
+
+        f_fresh = np.asarray(fresh.block("f"))
+        f_restored = np.asarray(restored.block("f"))
+        significant = np.abs(f_fresh) > FLOW_TOL
+        np.testing.assert_array_equal(f_restored[significant],
+                                      f_fresh[significant])
+        assert restored.value("F") == pytest.approx(fresh.value("F"))
+
+    def test_cached_solution_extraction_matches_fresh(self):
+        # End to end: a cache-served solve yields the same FlowSolution.
+        from repro.core import solve_link_mcf
+
+        topo = hypercube(3)
+        engine = Engine()
+        import repro.engine.core as engine_core
+
+        prev = engine_core._engine
+        engine_core._engine = engine
+        try:
+            fresh = solve_link_mcf(topo)
+            again = solve_link_mcf(topo)
+        finally:
+            engine_core._engine = prev
+        assert again.meta["engine"]["cache"] == "hit"
+        assert again.concurrent_flow == pytest.approx(fresh.concurrent_flow)
+        assert again.flows == fresh.flows
+
+    def test_eviction_still_accepts_plain_solutions(self):
+        cache = SolutionCache(max_entries=2)
+        for i in range(5):
+            cache.put(f"key-{i}", LPSolution(objective=float(i), values={}))
+        assert cache.size == 2

@@ -5,11 +5,10 @@ import pytest
 from repro.core import (
     augment_host_nic_bottleneck,
     project_flow_to_hosts,
-    solve_decomposed_mcf,
     solve_link_mcf,
     solve_master_lp,
 )
-from repro.topology import complete, hypercube, ring, torus
+from repro.topology import ring, torus
 
 
 class TestAugmentation:

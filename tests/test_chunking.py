@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import solve_mcf_extract_paths, solve_path_mcf, solve_timestepped_mcf
+from repro.core import solve_path_mcf, solve_timestepped_mcf
 from repro.paths import edge_disjoint_path_sets
 from repro.schedule import (
     chunk_path_schedule,
@@ -11,7 +11,7 @@ from repro.schedule import (
     validate_link_schedule,
     validate_routed_schedule,
 )
-from repro.topology import complete_bipartite, hypercube, ring, torus_2d
+from repro.topology import ring, torus_2d
 
 
 class TestQuantizeWeights:

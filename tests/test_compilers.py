@@ -20,7 +20,6 @@ from repro.schedule import (
     validate_routed_schedule,
 )
 from repro.simulator import a100_ml_fabric, cerio_hpc_fabric
-from repro.topology import hypercube
 
 
 class TestMSCCLCompiler:

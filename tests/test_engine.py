@@ -191,7 +191,10 @@ class TestRepeatedSweepUsesCache:
 class TestParallelRunner:
     def test_serial_and_thread_preserve_order(self):
         items = list(range(20))
-        square = lambda x: x * x
+
+        def square(x):
+            return x * x
+
         assert ParallelRunner(jobs=1).map(square, items) == [x * x for x in items]
         assert ParallelRunner(jobs=4, mode="thread").map(square, items) == \
             [x * x for x in items]

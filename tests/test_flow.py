@@ -10,7 +10,7 @@ from repro.core.flow import (
     max_link_utilization,
     repair_conservation,
 )
-from repro.topology import ring, complete, Topology
+from repro.topology import ring, Topology
 
 
 class TestWeightedPath:

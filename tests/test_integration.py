@@ -7,7 +7,7 @@ the qualitative result the evaluation section reports.
 import pytest
 
 from repro.analysis import normalize_times
-from repro.baselines import ilp_disjoint_schedule, native_alltoall_schedule, taccl_like_schedule
+from repro.baselines import native_alltoall_schedule, taccl_like_schedule
 from repro.core import (
     ForwardingModel,
     SchedulingRequest,
@@ -15,7 +15,6 @@ from repro.core import (
     solve_decomposed_mcf,
     solve_mcf_extract_paths,
     solve_path_mcf,
-    solve_timestepped_mcf,
 )
 from repro.paths import edge_disjoint_path_sets, ewsp_schedule, sssp_schedule
 from repro.routing import lash_sequential_assign, verify_layers
@@ -33,13 +32,7 @@ from repro.simulator import (
     steady_state_throughput,
     throughput_sweep,
 )
-from repro.topology import (
-    complete_bipartite,
-    edge_punctured_torus,
-    generalized_kautz,
-    hypercube,
-    torus_2d,
-)
+from repro.topology import edge_punctured_torus
 
 
 class TestLinkPipeline:

@@ -1,6 +1,5 @@
 """Tests for the Theorem 1 lower bound and the per-graph distance bound."""
 
-import math
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.core import (
     throughput_upper_bound,
     upper_bound_concurrent_flow,
 )
-from repro.topology import complete, generalized_kautz, hypercube, ring, torus_2d, torus_3d
+from repro.topology import complete, generalized_kautz, hypercube, ring, torus_2d
 
 
 class TestArborescenceSum:

@@ -9,7 +9,7 @@ from repro.core import (
     solve_master_lp,
 )
 from repro.core.flow import conservation_violation, max_link_utilization
-from repro.topology import Topology, complete, generalized_kautz, hypercube, ring, torus_2d
+from repro.topology import Topology, complete, generalized_kautz, hypercube, ring
 
 
 class TestMasterLP:
@@ -115,7 +115,6 @@ class TestDecomposedEndToEnd:
 
     def test_master_has_quadratically_fewer_variables(self, genkautz_4_16):
         # O(k N^2) for the master vs O(k N^3) for the original formulation.
-        from repro.core.solver import LPBuilder  # noqa: F401  (documentation import)
 
         master = solve_master_lp(genkautz_4_16)
         original = solve_link_mcf(genkautz_4_16, repair=False)

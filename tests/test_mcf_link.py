@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import solve_link_mcf
 from repro.core.flow import conservation_violation, max_link_utilization
-from repro.topology import Topology, complete, complete_bipartite, hypercube, ring
+from repro.topology import Topology, ring
 from repro.topology.properties import all_to_all_upper_bound_from_distance
 
 

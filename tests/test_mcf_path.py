@@ -3,13 +3,7 @@
 import pytest
 
 from repro.core import solve_decomposed_mcf, solve_path_mcf, path_schedule_from_single_paths
-from repro.paths import (
-    all_shortest_path_sets,
-    bounded_length_path_sets,
-    edge_disjoint_path_sets,
-    first_shortest_path_sets,
-)
-from repro.topology import complete, complete_bipartite, generalized_kautz, hypercube, ring
+from repro.paths import bounded_length_path_sets, edge_disjoint_path_sets, first_shortest_path_sets
 
 
 class TestPMCFOptimality:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import solve_decomposed_mcf, solve_timestepped_mcf
-from repro.topology import Topology, complete, complete_bipartite, hypercube, ring
+from repro.topology import Topology, complete, ring
 
 
 class TestOptimality:

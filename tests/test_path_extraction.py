@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import extract_paths, solve_decomposed_mcf, solve_mcf_extract_paths
-from repro.topology import generalized_kautz, hypercube, torus_2d
 
 
 class TestExtraction:

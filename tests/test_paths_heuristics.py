@@ -1,6 +1,5 @@
 """Tests for disjoint paths, SSSP, EwSP, DOR and widest-path utilities."""
 
-import networkx as nx
 import pytest
 
 from repro.core import solve_decomposed_mcf
@@ -17,16 +16,7 @@ from repro.paths import (
     widest_path,
     widest_path_in_topology,
 )
-from repro.topology import (
-    complete_bipartite,
-    edge_punctured_torus,
-    generalized_kautz,
-    hypercube,
-    mesh,
-    ring,
-    torus,
-    torus_2d,
-)
+from repro.topology import edge_punctured_torus, mesh, torus
 
 
 class TestDisjointPaths:

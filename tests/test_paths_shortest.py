@@ -11,7 +11,6 @@ from repro.paths import (
     k_shortest_paths,
     shortest_path,
 )
-from repro.topology import complete_bipartite, hypercube, ring, torus_2d
 
 
 class TestShortestPath:

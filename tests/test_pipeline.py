@@ -10,7 +10,7 @@ from repro.core import (
 )
 from repro.core.mcf_path import PathSchedule
 from repro.core.mcf_timestepped import TimeSteppedFlow
-from repro.topology import complete_bipartite, generalized_kautz, hypercube, torus_2d
+from repro.topology import torus_2d
 
 
 class TestPathDiversity:

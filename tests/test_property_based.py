@@ -12,11 +12,11 @@ import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.flow import conservation_violation, flow_to_paths
+from repro.core.flow import flow_to_paths
 from repro.paths.widest import path_bottleneck, widest_path
 from repro.routing import lash_sequential_assign, verify_layers
 from repro.schedule.chunking import quantize_weights
-from repro.topology import Topology, generalized_kautz, random_regular
+from repro.topology import generalized_kautz, random_regular
 from repro.topology.properties import all_to_all_upper_bound_from_distance
 
 # Keep hypothesis deadlines generous: some examples trigger LP solves.

@@ -1,6 +1,5 @@
 """Tests for deadlock detection and virtual-channel layer assignment (§5.5)."""
 
-import pytest
 
 from repro.core import solve_mcf_extract_paths
 from repro.paths import sssp_routes, ewsp_schedule
@@ -14,7 +13,7 @@ from repro.routing import (
     route_edges,
     verify_layers,
 )
-from repro.topology import bidirectional_ring, hypercube, torus_2d
+from repro.topology import torus_2d
 
 
 class TestChannelDependencyGraph:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.schedule import Chunk, LinkSchedule, LinkSendOp, RouteAssignment, RoutedSchedule
+from repro.schedule import Chunk, LinkSchedule, LinkSendOp
 from repro.simulator import (
     GBPS,
     EventQueue,

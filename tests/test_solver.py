@@ -1,6 +1,5 @@
 """Tests for the sparse LP builder / HiGHS wrapper (repro.core.solver)."""
 
-import numpy as np
 import pytest
 
 from repro.core.solver import LPBuilder, SolverError, VariableIndex

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import available_schemes, compare_schemes, run_scheme
 from repro.cli import build_parser, build_topology, main
-from repro.topology import torus_2d
 
 
 class TestSchemeRegistry:

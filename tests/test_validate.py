@@ -43,7 +43,6 @@ class TestLinkValidation:
 
     def test_causality_violation_detected(self):
         # Node 1 forwards shard (0, 2) in step 1, before receiving it.
-        topo = ring(3)
         ops = [
             LinkSendOp(Chunk(0, 1, 0.0, 1.0), 0, 1, 1),
             LinkSendOp(Chunk(1, 2, 0.0, 1.0), 1, 2, 1),
