@@ -9,23 +9,26 @@ Topologies: complete bipartite K4,4, 3D hypercube and 3D twisted hypercube
 bottleneck standing in for the 27-node TACC torus (3x3 at the default scale,
 3x3x3 with REPRO_BENCH_SCALE=paper).
 
+Each column is one declarative :class:`~repro.experiments.Scenario` executed
+through the staged :class:`~repro.experiments.Plan` pipeline — the benchmark
+declares topology spec + scheme + fabric + buffers and reads the simulated
+series back; the tsMCF column's synthesize stage is what ``benchmark`` times.
+
 Expected shape: tsMCF tracks the upper bound at large buffers and beats the
 TACCL surrogate (by ~20-60%); all schemes are latency-bound at small buffers.
 """
 
 
 from repro.analysis import format_throughput_sweep
-from repro.baselines import taccl_like_schedule
-from repro.core import augment_host_nic_bottleneck, solve_timestepped_mcf
-from repro.schedule import chunk_timestepped_flow
-from repro.simulator import a100_ml_fabric, steady_state_throughput, throughput_sweep
-from repro.topology import complete_bipartite, hypercube, torus, twisted_hypercube
+from repro.experiments import Plan, Scenario
+from repro.simulator import a100_ml_fabric, steady_state_throughput
+from repro.topology import from_spec
 
 FABRIC = a100_ml_fabric()          # 25 Gbps links, store-and-forward
 
 
-def _upper_bound_row(topology, flow_value, buffers):
-    bound = steady_state_throughput(topology.num_nodes, flow_value, FABRIC)
+def _upper_bound_row(num_terminals, flow_value, buffers):
+    bound = steady_state_throughput(num_terminals, flow_value, FABRIC)
 
     class _Fake:
         def __init__(self, buf):
@@ -35,29 +38,33 @@ def _upper_bound_row(topology, flow_value, buffers):
     return [_Fake(b) for b in buffers]
 
 
-def _run_topology(name, topo, buffer_sweep, record, benchmark=None, terminals=None):
-    def solve():
-        return solve_timestepped_mcf(topo, terminals=terminals)
+def _run_topology(name, spec, buffer_sweep, record, benchmark=None, host_bandwidth=None):
+    plan = Plan(Scenario(topology=spec, fabric="ml", scheme="tsmcf",
+                         host_bandwidth=host_bandwidth, buffers=tuple(buffer_sweep)))
+    if benchmark is not None:
+        benchmark.pedantic(lambda: plan.run(through="synthesize"), rounds=1, iterations=1)
+    ts = plan.run()
+    flow_value = ts.concurrent_flow
 
-    ts = benchmark.pedantic(solve, rounds=1, iterations=1) if benchmark is not None else solve()
-    link_schedule = chunk_timestepped_flow(ts)
-    flow_value = ts.equivalent_concurrent_flow()
-
+    # The bound (like the simulated series) is expressed over the graph the
+    # schedule runs on — the augmented graph when a host bottleneck applies.
     results = {
-        "Upper Bound": _upper_bound_row(topo, flow_value, buffer_sweep),
-        "tsMCF/G": throughput_sweep(link_schedule, buffer_sweep, fabric=FABRIC),
+        "Upper Bound": _upper_bound_row(ts.schedule.topology.num_nodes, flow_value,
+                                        buffer_sweep),
+        "tsMCF/G": ts.sim_results,
     }
-    if terminals is None:
-        taccl = taccl_like_schedule(topo)
-        results["TACCL/G"] = throughput_sweep(taccl, buffer_sweep, fabric=FABRIC)
+    if host_bandwidth is None:
+        taccl = Plan(Scenario(topology=spec, fabric="ml", scheme="taccl",
+                              buffers=tuple(buffer_sweep))).run()
+        results["TACCL/G"] = taccl.sim_results
     record("fig3_link_schedules", format_throughput_sweep(
-        results, title=f"Fig. 3 ({name}, N={len(terminals) if terminals else topo.num_nodes}): throughput GB/s vs buffer size"))
+        results, title=f"Fig. 3 ({name}, N={ts.num_terminals}): throughput GB/s vs buffer size"))
     return results
 
 
 def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
-    topo = complete_bipartite(4, 4)
-    results = _run_topology("Complete Bipartite", topo, buffer_sweep, record, benchmark)
+    results = _run_topology("Complete Bipartite", "bipartite:left=4,right=4",
+                            buffer_sweep, record, benchmark)
     mcf = results["tsMCF/G"][-1].throughput
     taccl = results["TACCL/G"][-1].throughput
     bound = results["Upper Bound"][-1].throughput
@@ -67,27 +74,25 @@ def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
 
 
 def test_fig3_hypercube(benchmark, record, buffer_sweep):
-    topo = hypercube(3)
-    results = _run_topology("3D Hypercube", topo, buffer_sweep, record, benchmark)
+    results = _run_topology("3D Hypercube", "hypercube:dim=3", buffer_sweep,
+                            record, benchmark)
     assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
 
 
 def test_fig3_twisted_hypercube(benchmark, record, buffer_sweep):
-    topo = twisted_hypercube(3)
-    results = _run_topology("3D Twisted Hypercube", topo, buffer_sweep, record, benchmark)
+    results = _run_topology("3D Twisted Hypercube", "twisted:dim=3", buffer_sweep,
+                            record, benchmark)
     assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
 
 
 def test_fig3_torus_with_host_bottleneck(benchmark, record, buffer_sweep, scale):
     """Torus column of Fig. 3: tsMCF on the host-NIC-bottleneck augmented graph."""
-    dims = [3, 3, 3] if scale == "paper" else [3, 3]
-    topo = torus(dims)
+    dims = "3x3x3" if scale == "paper" else "3x3"
+    spec = f"torus:dims={dims}"
     # §5.1 ratio: 100 Gbps injection vs degree * 25 Gbps NIC bandwidth, i.e. the
     # host moves 2/3 of the NIC aggregate (4 link-units at degree 6).
-    aug = augment_host_nic_bottleneck(topo, host_bandwidth=topo.degree() * 2.0 / 3.0,
-                                      link_bandwidth=1.0)
-    results = _run_topology(f"Torus {'x'.join(map(str, dims))} (host bottleneck)",
-                            aug.topology, buffer_sweep, record, benchmark,
-                            terminals=list(aug.host_nodes()))
+    host_bandwidth = from_spec(spec).degree() * 2.0 / 3.0
+    results = _run_topology(f"Torus {dims} (host bottleneck)", spec, buffer_sweep,
+                            record, benchmark, host_bandwidth=host_bandwidth)
     bound = results["Upper Bound"][-1].throughput
     assert results["tsMCF/G"][-1].throughput <= bound * 1.001

@@ -6,6 +6,11 @@ Executed on the cut-through fluid simulator with the Cerio-like fabric
 (forwarding bandwidth above injection bandwidth), so path-based schedules can
 exploit the extra forwarding bandwidth.
 
+Every column is one declarative :class:`~repro.experiments.Scenario`
+(topology spec x scheme x chunking denominator x buffer sweep) executed
+through the staged :class:`~repro.experiments.Plan` pipeline; the MCF-extP
+synthesize stage is what ``benchmark`` times.
+
 Expected shape (paper §5.2): MCF-extP tracks the upper bound; it beats the
 native baseline by up to ~2.3x on the complete bipartite topology and beats
 SSSP clearly on the torus; ILP-disjoint is competitive on tori but not on the
@@ -15,12 +20,9 @@ bipartite topology; DOR matches ILP-disjoint on the torus.
 import pytest
 
 from repro.analysis import format_throughput_sweep
-from repro.baselines import ilp_disjoint_schedule, native_alltoall_schedule
-from repro.core import solve_mcf_extract_paths
-from repro.paths import dor_schedule, ewsp_schedule, sssp_schedule
-from repro.schedule import chunk_path_schedule
-from repro.simulator import cerio_hpc_fabric, steady_state_throughput, throughput_sweep
-from repro.topology import complete_bipartite, hypercube, torus, twisted_hypercube
+from repro.experiments import Plan, Scenario
+from repro.simulator import cerio_hpc_fabric, steady_state_throughput
+from repro.topology import from_spec
 
 FABRIC = cerio_hpc_fabric()
 MAX_DENOM = 16
@@ -32,22 +34,25 @@ class _Bound:
         self.throughput = tp
 
 
-def _sweep(schedule, buffers):
-    return throughput_sweep(chunk_path_schedule(schedule, max_denominator=MAX_DENOM),
-                            buffers, fabric=FABRIC)
+def _scenario(spec, scheme, buffer_sweep, scheme_params=None):
+    return Scenario(topology=spec, scheme=scheme,
+                    scheme_params=scheme_params or {}, fabric="hpc",
+                    max_denominator=MAX_DENOM, buffers=tuple(buffer_sweep))
 
 
-def _run(name, topo, schemes, buffer_sweep, record, benchmark=None):
+def _run(name, spec, schemes, buffer_sweep, record, benchmark=None):
     results = {}
     optimal_flow = None
-    for label, make in schemes.items():
+    for label, (scheme, params) in schemes.items():
+        plan = Plan(_scenario(spec, scheme, buffer_sweep, params))
         if label == "MCF-extP/C" and benchmark is not None:
-            schedule = benchmark.pedantic(make, rounds=1, iterations=1)
-        else:
-            schedule = make()
+            benchmark.pedantic(lambda: plan.run(through="synthesize"),
+                               rounds=1, iterations=1)
+        done = plan.run()
         if label == "MCF-extP/C":
-            optimal_flow = schedule.concurrent_flow
-        results[label] = _sweep(schedule, buffer_sweep)
+            optimal_flow = done.concurrent_flow
+        results[label] = done.sim_results
+    topo = from_spec(spec)
     bound = steady_state_throughput(topo.num_nodes, optimal_flow, FABRIC)
     results = {"Upper Bound": [_Bound(b, bound) for b in buffer_sweep], **results}
     record("fig4_path_schedules", format_throughput_sweep(
@@ -56,14 +61,14 @@ def _run(name, topo, schemes, buffer_sweep, record, benchmark=None):
 
 
 def test_fig4_complete_bipartite(benchmark, record, buffer_sweep):
-    topo = complete_bipartite(4, 4)
     schemes = {
-        "MCF-extP/C": lambda: solve_mcf_extract_paths(topo),
-        "ILP-disjoint/C": lambda: ilp_disjoint_schedule(topo),
-        "EwSP/C": lambda: ewsp_schedule(topo),
-        "NCCL-native/G": lambda: native_alltoall_schedule(topo),
+        "MCF-extP/C": ("mcf-extp", None),
+        "ILP-disjoint/C": ("ilp-disjoint", None),
+        "EwSP/C": ("ewsp", None),
+        "NCCL-native/G": ("native", None),
     }
-    results = _run("Complete Bipartite", topo, schemes, buffer_sweep, record, benchmark)
+    results = _run("Complete Bipartite", "bipartite:left=4,right=4", schemes,
+                   buffer_sweep, record, benchmark)
     large = -1
     mcf = results["MCF-extP/C"][large].throughput
     assert mcf >= results["ILP-disjoint/C"][large].throughput - 1e6
@@ -72,40 +77,39 @@ def test_fig4_complete_bipartite(benchmark, record, buffer_sweep):
 
 
 def test_fig4_hypercube(benchmark, record, buffer_sweep):
-    topo = hypercube(3)
     schemes = {
-        "MCF-extP/C": lambda: solve_mcf_extract_paths(topo),
-        "ILP-disjoint/C": lambda: ilp_disjoint_schedule(topo),
-        "EwSP/C": lambda: ewsp_schedule(topo),
-        "SSSP/C": lambda: sssp_schedule(topo),
+        "MCF-extP/C": ("mcf-extp", None),
+        "ILP-disjoint/C": ("ilp-disjoint", None),
+        "EwSP/C": ("ewsp", None),
+        "SSSP/C": ("sssp", None),
     }
-    results = _run("3D Hypercube", topo, schemes, buffer_sweep, record, benchmark)
+    results = _run("3D Hypercube", "hypercube:dim=3", schemes, buffer_sweep,
+                   record, benchmark)
     assert results["MCF-extP/C"][-1].throughput >= 0.8 * results["Upper Bound"][-1].throughput
 
 
 def test_fig4_twisted_hypercube(benchmark, record, buffer_sweep):
-    topo = twisted_hypercube(3)
     schemes = {
-        "MCF-extP/C": lambda: solve_mcf_extract_paths(topo),
-        "EwSP/C": lambda: ewsp_schedule(topo),
-        "SSSP/C": lambda: sssp_schedule(topo),
+        "MCF-extP/C": ("mcf-extp", None),
+        "EwSP/C": ("ewsp", None),
+        "SSSP/C": ("sssp", None),
     }
-    results = _run("3D Twisted Hypercube", topo, schemes, buffer_sweep, record, benchmark)
+    results = _run("3D Twisted Hypercube", "twisted:dim=3", schemes, buffer_sweep,
+                   record, benchmark)
     assert results["MCF-extP/C"][-1].throughput >= 0.8 * results["Upper Bound"][-1].throughput
 
 
 def test_fig4_torus(benchmark, record, buffer_sweep, scale):
-    dims = [3, 3, 3] if scale == "paper" else [3, 3]
-    topo = torus(dims)
+    dims = "3x3x3" if scale == "paper" else "3x3"
     schemes = {
-        "MCF-extP/C": lambda: solve_mcf_extract_paths(topo),
-        "ILP-disjoint/C": lambda: ilp_disjoint_schedule(topo, mip_rel_gap=0.05, time_limit=120),
-        "DOR/C": lambda: dor_schedule(topo),
-        "SSSP/C": lambda: sssp_schedule(topo),
-        "EwSP/C": lambda: ewsp_schedule(topo),
-        "OMPI-native/C": lambda: native_alltoall_schedule(topo),
+        "MCF-extP/C": ("mcf-extp", None),
+        "ILP-disjoint/C": ("ilp-disjoint", {"mip_rel_gap": 0.05, "time_limit": 120}),
+        "DOR/C": ("dor", None),
+        "SSSP/C": ("sssp", None),
+        "EwSP/C": ("ewsp", None),
+        "OMPI-native/C": ("native", None),
     }
-    results = _run(f"Torus {'x'.join(map(str, dims))}", topo, schemes, buffer_sweep,
+    results = _run(f"Torus {dims}", f"torus:dims={dims}", schemes, buffer_sweep,
                    record, benchmark)
     large = -1
     mcf = results["MCF-extP/C"][large].throughput

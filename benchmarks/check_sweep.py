@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Validate a sweep JSONL file against the record schema (CI sweep-smoke gate).
+
+Usage: python benchmarks/check_sweep.py results.jsonl [--expect N]
+
+Checks every line parses, carries the mandatory record fields with the right
+shapes (64-hex key, schema_version 1, ok/error status, numeric metrics and
+timings), and — with ``--expect`` — that exactly N records exist and all are
+``ok``.  Exit code 0 on success, 1 with a per-line report otherwise.
+
+The record schema is documented in :mod:`repro.experiments.sweep`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+REQUIRED_FIELDS = ("schema_version", "key", "label", "status", "through",
+                   "scenario", "metrics", "timings", "engine", "stage_cache",
+                   "error")
+
+
+def check_record(index: int, line: str, errors: List[str]) -> dict:
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as exc:
+        errors.append(f"line {index}: not valid JSON ({exc})")
+        return {}
+    missing = [f for f in REQUIRED_FIELDS if f not in rec]
+    if missing:
+        errors.append(f"line {index}: missing field(s) {missing}")
+        return rec
+    if rec["schema_version"] != 1:
+        errors.append(f"line {index}: schema_version {rec['schema_version']!r} != 1")
+    if rec["status"] not in ("ok", "error"):
+        errors.append(f"line {index}: bad status {rec['status']!r}")
+    if rec["status"] == "ok":
+        if not (isinstance(rec["key"], str) and len(rec["key"]) == 64
+                and all(c in "0123456789abcdef" for c in rec["key"])):
+            errors.append(f"line {index}: key is not a 64-char hex digest")
+        if rec["error"] is not None:
+            errors.append(f"line {index}: ok record carries an error")
+    for section in ("metrics", "timings"):
+        values = rec.get(section)
+        if not isinstance(values, dict):
+            errors.append(f"line {index}: {section} is not an object")
+            continue
+        for name, value in values.items():
+            if not isinstance(value, (int, float, dict)):
+                errors.append(f"line {index}: {section}[{name!r}] is not numeric/nested")
+    if not isinstance(rec.get("scenario"), dict) or "topology" not in rec.get("scenario", {}):
+        errors.append(f"line {index}: scenario object missing topology")
+    return rec
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="sweep results file to validate")
+    parser.add_argument("--expect", type=int, default=None,
+                        help="require exactly N records, all with status ok")
+    args = parser.parse_args(argv)
+
+    errors: List[str] = []
+    records = []
+    with open(args.jsonl) as fh:
+        for index, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            records.append(check_record(index, line, errors))
+
+    statuses = [r.get("status") for r in records]
+    if args.expect is not None:
+        if len(records) != args.expect:
+            errors.append(f"expected {args.expect} records, found {len(records)}")
+        bad = statuses.count("error")
+        if bad:
+            errors.append(f"{bad} record(s) have status=error")
+
+    if errors:
+        for err in errors:
+            print(f"SWEEP SCHEMA: {err}", file=sys.stderr)
+        return 1
+    print(f"sweep schema ok: {len(records)} record(s), "
+          f"{statuses.count('ok')} ok / {statuses.count('error')} error")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,20 +104,27 @@ def runner(jobs):
 
 @pytest.fixture(scope="session", autouse=True)
 def _engine_cache_off():
-    """Disable the engine's solution cache for the whole benchmark session.
+    """Disable the engine's solution cache and the experiment layer's stage
+    cache for the whole benchmark session.
 
     The figures regenerated here (Fig. 7 runtime scaling, the parallelism
     ablation) time LP solves; serving a repeated (topology, formulation) from
-    the cache would report dict-lookup times as solve times and corrupt the
-    comparison.  Correctness tests keep the cache on; benchmarks measure.
+    the cache — or a whole synthesize stage from the plan's artifact cache —
+    would report dict-lookup times as solve times and corrupt the comparison.
+    Correctness tests keep the caches on; benchmarks measure.
     """
     from repro.engine import get_engine
+    from repro.experiments import get_plan_cache
 
     engine = get_engine()
+    plan_cache = get_plan_cache()
     prev = engine.cache.enabled
+    prev_plan = plan_cache.enabled
     engine.cache.enabled = False
+    plan_cache.enabled = False
     yield
     engine.cache.enabled = prev
+    plan_cache.enabled = prev_plan
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,7 @@ from . import (
     constants,
     core,
     engine,
+    experiments,
     paths,
     routing,
     schedule,
@@ -22,7 +23,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -30,6 +31,7 @@ __all__ = [
     "constants",
     "core",
     "engine",
+    "experiments",
     "paths",
     "routing",
     "schedule",

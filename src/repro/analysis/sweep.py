@@ -1,23 +1,21 @@
 """Scheme registry and comparison sweeps.
 
-A thin experiment-runner layer shared by the CLI and the benchmark harness: a
-registry of named schedule-generation schemes (the algorithms compared in the
-paper's figures) and helpers to run several of them on one topology and
-collect normalized all-to-all times or simulated throughputs.
+The registry of named schedule-generation schemes (the algorithms compared in
+the paper's figures) plus :func:`compare_schemes`, which since the
+declarative experiment layer landed is a thin wrapper: each scheme becomes
+one :class:`~repro.experiments.Scenario` and the batch executes through
+:func:`~repro.experiments.run_scenarios` (same ordering, same error capture,
+same parallel semantics as before).
 
-``compare_schemes(..., jobs=N)`` runs the schemes concurrently on threads via
-the engine's :class:`~repro.engine.runner.ParallelRunner`; results keep input
-order, so parallel output is identical to the serial run.  All schemes share
-the engine's solution cache, so re-running a comparison on the same topology
-solves no new LPs.
+All schemes share the engine's solution cache *and* the experiment layer's
+stage-artifact cache, so re-running a comparison on the same topology solves
+no new LPs and re-lowers no schedules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
-
-from ..engine import ParallelRunner
 
 from ..baselines import (
     ilp_disjoint_schedule,
@@ -30,6 +28,7 @@ from ..core import (
     solve_path_mcf,
 )
 from ..core.mcf_path import PathSchedule
+from ..experiments import Scenario, run_scenarios
 from ..paths import (
     all_shortest_path_sets,
     dor_schedule,
@@ -37,8 +36,7 @@ from ..paths import (
     ewsp_schedule,
     sssp_schedule,
 )
-from ..schedule import chunk_path_schedule
-from ..simulator import FabricModel, cerio_hpc_fabric, throughput_sweep
+from ..simulator import FabricModel, cerio_hpc_fabric
 from ..topology.base import Topology
 
 __all__ = ["SchemeResult", "PATH_SCHEMES", "available_schemes", "run_scheme",
@@ -57,6 +55,15 @@ PATH_SCHEMES: Dict[str, Callable[[Topology], PathSchedule]] = {
     "native": native_alltoall_schedule,
     "ilp-disjoint": lambda t: ilp_disjoint_schedule(t, mip_rel_gap=0.05, time_limit=120),
     "ilp-shortest": lambda t: ilp_shortest_schedule(t, mip_rel_gap=0.05, time_limit=120),
+}
+
+#: Parameters the PATH_SCHEMES lambdas bake in, replayed as ``scheme_params``
+#: when the same scheme runs through the declarative layer so both paths
+#: assemble byte-identical LPs (and therefore share cache entries).
+_BAKED_PARAMS: Dict[str, Dict[str, object]] = {
+    "pmcf-shortest": {"limit_per_pair": 16},
+    "ilp-disjoint": {"mip_rel_gap": 0.05, "time_limit": 120},
+    "ilp-shortest": {"mip_rel_gap": 0.05, "time_limit": 120},
 }
 
 
@@ -113,25 +120,30 @@ def compare_schemes(topology: Topology, schemes: Sequence[str],
     if normalize:
         reference = 1.0 / solve_decomposed_mcf(topology).concurrent_flow
 
-    def run_one(name: str) -> SchemeResult:
-        try:
-            schedule = run_scheme(name, topology)
-        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+    buffers = tuple(buffer_sizes) if buffer_sizes else ()
+    scenarios = [Scenario(topology=topology, scheme=name,
+                          scheme_params=_BAKED_PARAMS.get(name, {}),
+                          fabric=fabric, buffers=buffers, max_denominator=16)
+                 for name in schemes]
+    through = "simulate" if buffers else "synthesize"
+    results = run_scenarios(scenarios, jobs=jobs, through=through)
+
+    out: List[SchemeResult] = []
+    for name, res in zip(schemes, results):
+        if res.status == "error":
             if not skip_failures:
-                raise
-            return SchemeResult(scheme=name, concurrent_flow=0.0,
-                                all_to_all_time=float("inf"), error=str(exc))
-        time = schedule.all_to_all_time()
+                raise res.exception
+            out.append(SchemeResult(scheme=name, concurrent_flow=0.0,
+                                    all_to_all_time=float("inf"), error=res.error))
+            continue
+        time = float(res.metrics.get("all_to_all_time", float("inf")))
         result = SchemeResult(
             scheme=name,
-            concurrent_flow=schedule.concurrent_flow,
+            concurrent_flow=float(res.metrics.get("concurrent_flow", 0.0)),
             all_to_all_time=time,
             normalized_time=None if reference is None else time / reference,
         )
-        if buffer_sizes:
-            routed = chunk_path_schedule(schedule, max_denominator=16)
-            for r in throughput_sweep(routed, buffer_sizes, fabric=fabric):
-                result.throughputs[r.buffer_bytes] = r.throughput
-        return result
-
-    return ParallelRunner(jobs=jobs).map(run_one, list(schemes))
+        for buf, tp in (res.metrics.get("throughput_bytes_per_s") or {}).items():
+            result.throughputs[float(buf)] = tp
+        out.append(result)
+    return out

@@ -7,7 +7,9 @@ Mirrors the tool chain a user of the paper's system would drive:
   and optionally write the lowered XML;
 * ``repro simulate``    -- run a synthesised schedule on the simulated fabric
   across a buffer sweep and print the throughput series;
-* ``repro compare``     -- compare several schemes on one topology (Fig. 8 style).
+* ``repro compare``     -- compare several schemes on one topology (Fig. 8 style);
+* ``repro sweep``       -- run a declarative scenario grid (topology x scheme x
+  fabric x ...) with streaming JSONL results, resumable by scenario hash.
 
 Topology specs are compact strings such as ``genkautz:d=4,n=24``,
 ``torus:dims=3x3x3``, ``hypercube:dim=3``, ``bipartite:left=4,right=4``,
@@ -20,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .analysis import format_table
 from .analysis.sweep import available_schemes, compare_schemes
@@ -32,6 +34,14 @@ from .core import (
 )
 from .core.mcf_path import PathSchedule
 from .core.mcf_timestepped import TimeSteppedFlow
+from .experiments import (
+    SweepGrid,
+    available_scenario_schemes,
+    get_plan_cache,
+    run_sweep,
+    sweep_stats,
+    write_csv,
+)
 from .routing import lash_sequential_assign
 from .schedule import (
     chunk_path_schedule,
@@ -39,73 +49,19 @@ from .schedule import (
     compile_to_msccl_xml,
     compile_to_ompi_xml,
 )
-from .simulator import a100_ml_fabric, cerio_hpc_fabric, throughput_sweep
-from .topology import (
-    Topology,
-    complete_bipartite,
-    generalized_kautz,
-    hypercube,
-    properties,
-    random_regular,
-    torus,
-    twisted_hypercube,
-    xpander,
-)
+from .simulator import fabric_from_spec, throughput_sweep
+from .topology import Topology, from_spec, properties
 
 __all__ = ["build_topology", "main"]
 
 
-def _parse_kv(spec: str) -> Dict[str, str]:
-    out: Dict[str, str] = {}
-    if not spec:
-        return out
-    for item in spec.split(","):
-        if not item:
-            continue
-        if "=" not in item:
-            raise ValueError(f"malformed topology parameter {item!r} (expected key=value)")
-        key, value = item.split("=", 1)
-        out[key.strip()] = value.strip()
-    return out
-
-
 def build_topology(spec: str) -> Topology:
-    """Build a topology from a ``family:key=value,...`` spec string."""
-    if ":" in spec:
-        family, rest = spec.split(":", 1)
-    else:
-        family, rest = spec, ""
-    family = family.strip().lower()
-    params = _parse_kv(rest)
-
-    if family in ("genkautz", "kautz"):
-        return generalized_kautz(int(params.get("d", 4)), int(params.get("n", 16)))
-    if family == "hypercube":
-        return hypercube(int(params.get("dim", 3)))
-    if family in ("twisted", "twisted-hypercube"):
-        return twisted_hypercube(int(params.get("dim", 3)))
-    if family == "bipartite":
-        left = int(params.get("left", 4))
-        right = int(params.get("right", left))
-        return complete_bipartite(left, right)
-    if family in ("torus", "mesh"):
-        dims = [int(x) for x in params.get("dims", "3x3").split("x")]
-        return torus(dims, wrap=(family == "torus"))
-    if family == "xpander":
-        return xpander(int(params.get("d", 4)), int(params.get("lift", 4)),
-                       seed=int(params.get("seed", 0)))
-    if family in ("rrg", "random-regular", "jellyfish"):
-        return random_regular(int(params.get("d", 4)), int(params.get("n", 16)),
-                              seed=int(params.get("seed", 0)))
-    raise ValueError(f"unknown topology family {family!r}")
+    """Build a topology from a spec string (alias of :func:`repro.topology.from_spec`)."""
+    return from_spec(spec)
 
 
 def _fabric(name: str):
-    if name == "hpc":
-        return cerio_hpc_fabric()
-    if name == "ml":
-        return a100_ml_fabric()
-    raise ValueError(f"unknown fabric {name!r} (expected 'hpc' or 'ml')")
+    return fabric_from_spec(name)
 
 
 def _buffer_list(spec: str) -> List[float]:
@@ -126,7 +82,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     topo = build_topology(args.topology)
     request = SchedulingRequest(
-        forwarding=ForwardingModel.NIC if args.fabric == "hpc" else ForwardingModel.HOST,
+        forwarding=(ForwardingModel.NIC if _fabric(args.fabric).nic_forwarding
+                    else ForwardingModel.HOST),
         host_bandwidth=args.host_bandwidth,
         n_jobs=args.jobs,
     )
@@ -168,6 +125,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_engine_stats(extra: str = "") -> None:
+    """Cache/solve accounting footer, printed to stderr.
+
+    stderr so that stdout stays byte-identical across repeated invocations
+    (hit counts and wall-clock seconds legitimately differ run to run).
+    """
+    from .engine import get_engine
+
+    stats = get_engine().stats()
+    plan = get_plan_cache().stats()
+    print(f"[stats] lp-cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"({stats['disk_hits']} from disk) backend={stats['backend']}; "
+          f"stage-cache: {plan['hits']} hits / {plan['misses']} misses"
+          + (f"; {extra}" if extra else ""), file=sys.stderr)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     topo = build_topology(args.topology)
     schemes = args.schemes.split(",") if args.schemes else ["mcf-extp", "ewsp", "sssp", "native"]
@@ -184,7 +157,68 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                      " ".join(f"{tp / 1e9:.2f}" for tp in r.throughputs.values()) or "-"])
     print(format_table(["scheme", "all-to-all time", "vs MCF", "throughput GB/s"],
                        rows, title=f"Scheme comparison on {topo.name}"))
+    _print_engine_stats()
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = {}
+    axes = {}
+    if args.grid:
+        grid = SweepGrid.from_file(args.grid)
+        base, axes = dict(grid.base), dict(grid.axes)
+    for item in args.set or []:
+        if "=" not in item:
+            raise ValueError(f"malformed --set {item!r} (expected field=value)")
+        key, value = item.split("=", 1)
+        base[key.strip()] = value.strip()
+    for item in args.axis or []:
+        if "=" not in item:
+            raise ValueError(f"malformed --axis {item!r} (expected field=v1;v2;...)")
+        key, values = item.split("=", 1)
+        # ';' separates axis values because topology specs contain commas.
+        axes[key.strip()] = [v for v in values.split(";") if v]
+    if not base and not axes:
+        raise ValueError("empty sweep: provide --grid and/or --set/--axis fields")
+    grid = SweepGrid(base=base, axes=axes)
+    scenarios = grid.scenarios()
+
+    results = run_sweep(scenarios, out_path=args.out, jobs=args.jobs,
+                        resume=args.resume, n_jobs=args.lp_jobs)
+
+    rows = []
+    failures = []
+    for res in results:
+        if res.status == "error":
+            rows.append([res.scenario.label(), "error", "-", "-", "-"])
+            failures.append((res.scenario.label(), res.error or "unknown error"))
+            continue
+        tps = res.metrics.get("throughput_bytes_per_s") or {}
+        flow = res.metrics.get("concurrent_flow")
+        rows.append([
+            res.scenario.label(),
+            "resumed" if res.resumed else "ok",
+            "-" if flow is None else round(float(flow), 4),
+            "-" if res.metrics.get("all_to_all_time") is None
+            else round(float(res.metrics["all_to_all_time"]), 3),
+            " ".join(f"{tp / 1e9:.2f}" for tp in tps.values()) or "-",
+        ])
+    print(format_table(["scenario", "status", "F", "all-to-all time", "throughput GB/s"],
+                       rows, title=f"Sweep: {len(scenarios)} scenario(s)"))
+    for label, message in failures:
+        print(f"error: {label}: {message}")
+    if args.csv:
+        write_csv(results, args.csv)
+        print(f"wrote CSV to {args.csv}")
+    if args.out:
+        print(f"streaming results in {args.out}")
+
+    totals = sweep_stats(results)
+    _print_engine_stats(
+        f"scenarios: {totals['ok']} ok / {totals['errors']} error "
+        f"({totals['resumed']} resumed); "
+        f"assemble {totals['assemble_seconds']:.3f}s solve {totals['solve_seconds']:.3f}s")
+    return 1 if totals["errors"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -203,7 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_syn = sub.add_parser("synthesize", help="synthesise a schedule and emit XML")
     p_syn.add_argument("topology")
-    p_syn.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_syn.add_argument("--fabric", default="hpc",
+                       help="fabric spec: hpc, ml, ideal, optionally with "
+                            "params, e.g. hpc:forwarding_gbps=100")
     p_syn.add_argument("--host-bandwidth", type=float, default=None,
                        help="host injection bandwidth in link units (triggers Fig. 2 augmentation)")
     p_syn.add_argument("--output", "-o", default=None, help="write the lowered XML here")
@@ -212,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="simulate the MCF-extP schedule on a fabric")
     p_sim.add_argument("topology")
-    p_sim.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_sim.add_argument("--fabric", default="hpc")
     p_sim.add_argument("--buffers", default="1048576,16777216,268435456",
                        help="comma-separated per-node buffer sizes in bytes")
     p_sim.add_argument("--jobs", type=int, default=1,
@@ -224,10 +260,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--schemes", default=None,
                        help=f"comma-separated scheme names from: {', '.join(available_schemes())}")
     p_cmp.add_argument("--buffers", default=None)
-    p_cmp.add_argument("--fabric", choices=["hpc", "ml"], default="hpc")
+    p_cmp.add_argument("--fabric", default="hpc")
     p_cmp.add_argument("--jobs", type=int, default=1,
                        help="schemes evaluated concurrently (output is identical to serial)")
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_swp = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario grid with streaming JSONL results",
+        description="Expand a scenario grid (base fields x axes) and execute "
+                    "every scenario through the staged Plan pipeline.  One "
+                    "JSONL record is appended per completed scenario, so a "
+                    "killed sweep is resumable with --resume.  Scheme names: "
+                    + ", ".join(available_scenario_schemes()))
+    p_swp.add_argument("--grid", default=None,
+                       help='JSON grid spec file: {"base": {...}, "axes": {...}}')
+    p_swp.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="fix a scenario field (repeatable); "
+                            "e.g. --set fabric=ml --set buffers='1048576 16777216'")
+    p_swp.add_argument("--axis", action="append", metavar="FIELD=V1;V2",
+                       help="sweep a scenario field over ';'-separated values "
+                            "(repeatable; ';' because topology specs contain "
+                            "commas), e.g. --axis 'scheme=mcf-extp;ewsp'")
+    p_swp.add_argument("--out", "-o", default=None,
+                       help="JSONL results file (appended to, one record per scenario)")
+    p_swp.add_argument("--csv", default=None, help="also write a flat CSV here")
+    p_swp.add_argument("--jobs", type=int, default=1,
+                       help="scenarios executed concurrently")
+    p_swp.add_argument("--lp-jobs", type=int, default=1,
+                       help="child-LP workers within each scenario")
+    p_swp.add_argument("--resume", action="store_true",
+                       help="skip scenarios whose key already has an ok record in --out")
+    p_swp.set_defaults(func=_cmd_sweep)
     return parser
 
 

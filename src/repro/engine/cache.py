@@ -1,11 +1,18 @@
-"""Content-addressed LP solution cache (in-memory + optional on-disk).
+"""Content-addressed artifact cache (in-memory + optional on-disk).
 
-Keys are the :meth:`~repro.engine.problem.MCFProblem.cache_key` digests, so
-two callers that pose the same problem — same topology content, formulation
-and parameters — share one solve no matter how the topology object was
+The primary tenant is the engine's LP solution store: keys are the
+:meth:`~repro.engine.problem.MCFProblem.cache_key` digests, so two callers
+that pose the same problem — same topology content, formulation and
+parameters — share one solve no matter how the topology object was
 constructed.  The in-memory tier is always on (when the cache is enabled);
 the on-disk tier activates when a directory is configured and persists
-solutions across processes via pickle files written atomically.
+payloads across processes via pickle files written atomically.
+
+The cache is payload-agnostic: :mod:`repro.experiments` reuses it (with a
+different ``suffix``/``payload_type``) as the per-stage artifact tier of the
+declarative :class:`~repro.experiments.Plan` pipeline.  Payloads exposing a
+``portable(tol=...)`` method (the :class:`LPSolution` compaction protocol)
+are compacted before storage; anything else is stored as-is.
 
 Thread safe: the sweep layer solves schemes concurrently through
 :class:`~repro.engine.runner.ParallelRunner` threads that share this cache.
@@ -26,7 +33,10 @@ __all__ = ["SolutionCache"]
 
 
 class SolutionCache:
-    """Two-tier (memory, disk) cache of :class:`LPSolution` objects.
+    """Two-tier (memory, disk) cache of content-addressed payloads.
+
+    Defaults to :class:`LPSolution` payloads (the engine's solution store);
+    pass ``payload_type``/``suffix`` to cache other pickle-able artifacts.
 
     Attributes
     ----------
@@ -37,10 +47,13 @@ class SolutionCache:
     """
 
     def __init__(self, cache_dir: Optional[str] = None, enabled: bool = True,
-                 max_entries: int = 4096) -> None:
+                 max_entries: int = 4096, suffix: str = ".lps.pkl",
+                 payload_type: Optional[type] = None) -> None:
         self.enabled = enabled
         self.cache_dir = cache_dir
         self.max_entries = max_entries
+        self.suffix = suffix
+        self._payload_type = payload_type  # None -> LPSolution (lazy import)
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -85,9 +98,12 @@ class SolutionCache:
         """
         if not self.enabled:
             return
-        from ..constants import FLOW_TOL
+        if hasattr(solution, "portable"):
+            from ..constants import FLOW_TOL
 
-        portable = solution.portable(tol=FLOW_TOL)
+            portable = solution.portable(tol=FLOW_TOL)
+        else:
+            portable = solution
         with self._lock:
             self._insert(key, portable)
             self.stores += 1
@@ -124,7 +140,14 @@ class SolutionCache:
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.lps.pkl")
+        return os.path.join(self.cache_dir, f"{key}{self.suffix}")
+
+    def _expected_type(self) -> type:
+        if self._payload_type is None:
+            from ..core.solver import LPSolution
+
+            return LPSolution
+        return self._payload_type
 
     def _disk_get(self, key: str) -> Optional["LPSolution"]:
         if not self.cache_dir:
@@ -137,9 +160,7 @@ class SolutionCache:
         except Exception:  # noqa: BLE001 - a corrupt entry must read as a miss,
             # and pickle surfaces corruption as almost any exception type.
             return None
-        from ..core.solver import LPSolution
-
-        if not isinstance(payload, LPSolution):
+        if not isinstance(payload, self._expected_type()):
             return None
         return payload
 

@@ -1,0 +1,62 @@
+"""Declarative experiment layer: scenarios, staged plans, grid sweeps.
+
+The paper's Fig. 1 flow (topology -> MCF variant -> schedule IR ->
+simulator) expressed as data instead of glue code:
+
+* :class:`Scenario` — one experiment (topology x workload x fabric x scheme
+  plus chunking/simulation knobs) with canonical, per-stage content hashing;
+* :class:`Plan` — executes a scenario as explicit synthesize -> lower ->
+  validate -> simulate stages with per-stage artifact caching (memory +
+  optional ``$REPRO_CACHE_DIR/stages`` disk tier, reusing the engine's
+  :class:`~repro.engine.cache.SolutionCache`);
+* :class:`SweepGrid` + :func:`run_sweep` — cartesian scenario grids executed
+  through :class:`~repro.engine.runner.ParallelRunner` with streaming JSONL
+  records, resumable by scenario hash.
+
+``analysis.sweep.compare_schemes``, the ``repro sweep`` CLI subcommand and
+the Fig. 3 / Fig. 4 / Table 1 benchmarks are all thin layers over this
+module, so adding a topology x workload x fabric combination is a data
+change, not a code change.
+"""
+
+from .plan import Plan, PlanResult, configure_plan_cache, get_plan_cache, reset_plan_cache
+from .scenario import (
+    SCHEMES,
+    STAGES,
+    Scenario,
+    available_scenario_schemes,
+    resolve_scheme,
+    scenario_schema_version,
+)
+from .sweep import (
+    ScenarioResult,
+    SweepGrid,
+    completed_keys,
+    load_results,
+    run_scenarios,
+    run_sweep,
+    sweep_stats,
+    write_csv,
+)
+
+__all__ = [
+    "Plan",
+    "PlanResult",
+    "configure_plan_cache",
+    "get_plan_cache",
+    "reset_plan_cache",
+    "SCHEMES",
+    "STAGES",
+    "Scenario",
+    "available_scenario_schemes",
+    "resolve_scheme",
+    "scenario_schema_version",
+    "ScenarioResult",
+    "SweepGrid",
+    "completed_keys",
+    "load_results",
+    "run_scenarios",
+    "run_sweep",
+    "sweep_stats",
+    "write_csv",
+]

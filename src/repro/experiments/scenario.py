@@ -1,0 +1,376 @@
+"""Declarative experiment scenarios with canonical, per-stage hashing.
+
+A :class:`Scenario` is a pure-data description of one experiment: which
+topology (a ``family:key=value`` spec string or a concrete
+:class:`~repro.topology.base.Topology`), which workload, which fabric, which
+schedule-generation scheme, and the chunking/simulation knobs.  It answers
+two questions:
+
+* *what to run* — :meth:`Scenario.resolved_topology`,
+  :meth:`Scenario.resolved_fabric` and :func:`resolve_scheme` turn the data
+  into the concrete objects the :class:`~repro.experiments.plan.Plan`
+  pipeline executes;
+* *what it is* — :meth:`Scenario.key` is a content-addressed digest (the
+  topology contributes its :meth:`~repro.topology.base.Topology.canonical_hash`,
+  so a spec string and an equivalent hand-built topology hash identically).
+  Per-stage keys (:meth:`Scenario.stage_key`) only cover the fields that
+  stage depends on, so scenarios differing only in buffer sizes share their
+  synthesized schedule artifacts.
+
+The scheme registry here is the experiment-facing superset of
+``analysis.sweep.PATH_SCHEMES``: it adds the link-based schemes (``tsmcf``,
+``taccl``) and the ``auto`` scheme that follows the paper's Fig. 1 decision
+flow, and every entry accepts keyword parameters (``scheme_params``) instead
+of baking them in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..baselines import (
+    ilp_disjoint_schedule,
+    ilp_shortest_schedule,
+    native_alltoall_schedule,
+    sccl_like_schedule,
+    taccl_like_schedule,
+)
+from ..core import (
+    ForwardingModel,
+    SchedulingRequest,
+    generate_schedule,
+    solve_mcf_extract_paths,
+    solve_path_mcf,
+)
+from ..engine.problem import canonical_value
+from ..paths import (
+    all_shortest_path_sets,
+    dor_schedule,
+    edge_disjoint_path_sets,
+    ewsp_schedule,
+    sssp_schedule,
+)
+from ..simulator import FabricModel, fabric_from_spec
+from ..topology import Topology, from_spec
+
+__all__ = ["Scenario", "STAGES", "SCHEMES", "available_scenario_schemes",
+           "resolve_scheme", "scenario_schema_version"]
+
+#: Pipeline stages, in execution order.
+STAGES: Tuple[str, ...] = ("synthesize", "lower", "validate", "simulate")
+
+#: Bump when the Scenario hashing payload or artifact schema changes, so a
+#: persistent ``REPRO_CACHE_DIR`` stage tier from an older layout reads as a
+#: miss instead of serving incompatible artifacts.
+_SCENARIO_SCHEMA = 1
+
+
+def scenario_schema_version() -> int:
+    """Schema version stamped into scenario keys and sweep JSONL records."""
+    return _SCENARIO_SCHEMA
+
+
+# --------------------------------------------------------------------------- #
+# Scheme registry
+# --------------------------------------------------------------------------- #
+def _auto_scheme(topology: Topology, *, scenario: "Scenario", n_jobs: int = 1):
+    """The paper's Fig. 1 decision flow, driven by scenario knobs."""
+    request = SchedulingRequest(
+        forwarding=scenario.resolved_forwarding(),
+        host_bandwidth=scenario.host_bandwidth,
+        link_bandwidth=scenario.link_bandwidth,
+        num_steps=scenario.num_steps,
+        path_diversity_threshold=scenario.path_diversity_threshold,
+        max_disjoint_paths=scenario.max_disjoint_paths,
+        decompose_ts=scenario.decompose_ts,
+        n_jobs=n_jobs,
+    )
+    return generate_schedule(topology, request)
+
+
+def _tsmcf_scheme(topology: Topology, *, scenario: "Scenario", n_jobs: int = 1):
+    """Link-based tsMCF, honoring host-bottleneck augmentation and num_steps."""
+    request = SchedulingRequest(
+        forwarding=ForwardingModel.HOST,
+        host_bandwidth=scenario.host_bandwidth,
+        link_bandwidth=scenario.link_bandwidth,
+        num_steps=scenario.num_steps,
+        decompose_ts=scenario.decompose_ts,
+        n_jobs=n_jobs,
+    )
+    return generate_schedule(topology, request)
+
+
+def _pmcf_shortest(topology: Topology, limit_per_pair: int = 16):
+    return solve_path_mcf(topology, all_shortest_path_sets(
+        topology, limit_per_pair=limit_per_pair))
+
+
+def _pmcf_disjoint(topology: Topology, max_paths: Optional[int] = None):
+    return solve_path_mcf(topology, edge_disjoint_path_sets(topology, max_paths=max_paths))
+
+
+#: Scheme name -> callable.  Entries marked scenario-aware receive the full
+#: scenario (and the plan's ``n_jobs``); plain entries receive the topology
+#: plus ``scheme_params`` as keyword arguments.
+SCHEMES: Dict[str, Callable] = {
+    "auto": _auto_scheme,
+    "tsmcf": _tsmcf_scheme,
+    "mcf-extp": solve_mcf_extract_paths,
+    "pmcf-disjoint": _pmcf_disjoint,
+    "pmcf-shortest": _pmcf_shortest,
+    "ewsp": ewsp_schedule,
+    "sssp": sssp_schedule,
+    "dor": dor_schedule,
+    "native": native_alltoall_schedule,
+    "ilp-disjoint": ilp_disjoint_schedule,
+    "ilp-shortest": ilp_shortest_schedule,
+    "taccl": taccl_like_schedule,
+    "sccl": sccl_like_schedule,
+}
+
+#: Schemes that take the whole scenario (not just topology + params).
+_SCENARIO_AWARE = ("auto", "tsmcf")
+
+
+def available_scenario_schemes() -> List[str]:
+    """Names of all schemes a :class:`Scenario` can declare."""
+    return sorted(SCHEMES)
+
+
+def resolve_scheme(scenario: "Scenario", topology: Topology, n_jobs: int = 1):
+    """Run the scenario's scheme, returning a schedule object.
+
+    Falls back to ``analysis.sweep.PATH_SCHEMES`` for names registered there
+    but not here (user-registered schemes keep working through the new layer).
+    """
+    name = scenario.scheme
+    params = dict(scenario.scheme_params)
+    if name in _SCENARIO_AWARE:
+        return SCHEMES[name](topology, scenario=scenario, n_jobs=n_jobs, **params)
+    if name in SCHEMES:
+        return SCHEMES[name](topology, **params)
+    from ..analysis.sweep import PATH_SCHEMES  # lazy: analysis imports us
+
+    if name in PATH_SCHEMES:
+        if params:
+            # PATH_SCHEMES callables take only the topology; silently dropping
+            # params would leave the scenario hash (and JSONL record) claiming
+            # parameters that never applied.
+            raise ValueError(
+                f"scheme {name!r} (from analysis.sweep.PATH_SCHEMES) does not "
+                f"accept scheme_params; got {sorted(params)}")
+        return PATH_SCHEMES[name](topology)
+    raise KeyError(f"unknown scheme {name!r}; available: {available_scenario_schemes()}")
+
+
+# --------------------------------------------------------------------------- #
+# Scenario
+# --------------------------------------------------------------------------- #
+#: Content fields each stage's artifact depends on.  ``lower``/``validate``
+#: extend ``synthesize``; ``simulate`` extends ``lower``.  Execution knobs
+#: (worker counts) are deliberately absent: they change how fast an artifact
+#: is produced, never what it is.
+_STAGE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "synthesize": ("topology", "workload", "forwarding", "scheme", "scheme_params",
+                   "host_bandwidth", "link_bandwidth", "num_steps",
+                   "path_diversity_threshold", "max_disjoint_paths", "decompose_ts"),
+}
+_STAGE_FIELDS["lower"] = _STAGE_FIELDS["synthesize"] + ("max_denominator",)
+_STAGE_FIELDS["validate"] = _STAGE_FIELDS["lower"]
+_STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers")
+
+_SUPPORTED_WORKLOADS = ("alltoall",)
+
+
+@dataclass
+class Scenario:
+    """One declarative experiment: topology x workload x fabric x scheme.
+
+    Attributes
+    ----------
+    topology:
+        A spec string (see :func:`repro.topology.from_spec`) or a concrete
+        :class:`Topology`.  Both hash by topology *content*.
+    workload:
+        Traffic pattern; currently only ``"alltoall"`` (the paper's headline
+        collective) flows through the full pipeline.
+    fabric:
+        Fabric spec string (see :func:`repro.simulator.fabric_from_spec`) or
+        a concrete :class:`FabricModel`; drives the simulate stage and the
+        default forwarding model.
+    forwarding:
+        ``"auto"`` (derive from the fabric's ``nic_forwarding``), ``"host"``
+        or ``"nic"``.  Only consulted by the ``auto`` scheme.
+    scheme:
+        Scheme name from :data:`SCHEMES` (or ``analysis.sweep.PATH_SCHEMES``).
+    scheme_params:
+        Keyword arguments for the scheme callable (e.g. ILP gap/time limits).
+    host_bandwidth / link_bandwidth / num_steps / path_diversity_threshold /
+    max_disjoint_paths / decompose_ts:
+        The :class:`~repro.core.pipeline.SchedulingRequest` knobs.
+    max_denominator:
+        Chunking granularity for path schedules (lower stage).
+    buffers:
+        Per-node buffer sizes (bytes) swept by the simulate stage.
+    name:
+        Cosmetic label for reports; excluded from hashing.
+    """
+
+    topology: Union[str, Topology]
+    workload: str = "alltoall"
+    fabric: Union[str, FabricModel] = "hpc"
+    forwarding: str = "auto"
+    scheme: str = "auto"
+    scheme_params: Mapping[str, object] = field(default_factory=dict)
+    host_bandwidth: Optional[float] = None
+    link_bandwidth: float = 1.0
+    num_steps: Optional[int] = None
+    path_diversity_threshold: float = 4.0
+    max_disjoint_paths: Optional[int] = None
+    decompose_ts: bool = False
+    max_denominator: int = 64
+    buffers: Tuple[float, ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in _SUPPORTED_WORKLOADS:
+            raise ValueError(f"unsupported workload {self.workload!r}; "
+                             f"supported: {_SUPPORTED_WORKLOADS}")
+        if self.forwarding not in ("auto", "host", "nic"):
+            raise ValueError(f"forwarding must be auto/host/nic, got {self.forwarding!r}")
+        self.buffers = tuple(float(b) for b in self.buffers)
+        self.scheme_params = dict(self.scheme_params)
+        self._topology_obj: Optional[Topology] = (
+            self.topology if isinstance(self.topology, Topology) else None)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolved_topology(self) -> Topology:
+        """The concrete topology (spec strings are parsed once and memoized)."""
+        if self._topology_obj is None:
+            self._topology_obj = from_spec(self.topology)
+        return self._topology_obj
+
+    def resolved_fabric(self) -> FabricModel:
+        """The concrete fabric model."""
+        return fabric_from_spec(self.fabric)
+
+    def resolved_forwarding(self) -> ForwardingModel:
+        """The forwarding model, deriving ``auto`` from the fabric."""
+        if self.forwarding == "host":
+            return ForwardingModel.HOST
+        if self.forwarding == "nic":
+            return ForwardingModel.NIC
+        return (ForwardingModel.NIC if self.resolved_fabric().nic_forwarding
+                else ForwardingModel.HOST)
+
+    def label(self) -> str:
+        """Display label: the explicit name, or ``topology/scheme``."""
+        if self.name:
+            return self.name
+        topo = self.topology if isinstance(self.topology, str) else self.topology.name
+        return f"{topo}/{self.scheme}"
+
+    # ------------------------------------------------------------------ #
+    # Hashing
+    # ------------------------------------------------------------------ #
+    def _canonical_field(self, fname: str) -> object:
+        value = getattr(self, fname)
+        if fname == "topology":
+            return ("topology", self.resolved_topology().canonical_hash())
+        if fname == "fabric":
+            fabric = self.resolved_fabric()
+            return ("fabric", tuple(sorted(asdict(fabric).items())))
+        if fname == "forwarding":
+            # Only the "auto" scheme branches on the forwarding model, and
+            # "auto" forwarding resolves through the fabric — hash the
+            # *resolved* model so scenarios differing only in fabric never
+            # share a synthesize artifact when the fabric picked the branch.
+            # Every other scheme ignores forwarding ("tsmcf" forces HOST),
+            # so a constant keeps their artifacts shared across fabrics.
+            if self.scheme == "auto":
+                return ("forwarding", self.resolved_forwarding().value)
+            return ("forwarding", "ignored")
+        return (fname, canonical_value(value))
+
+    def stage_key(self, stage: str) -> str:
+        """Content digest of the fields the given stage depends on.
+
+        Stable across processes and construction styles: the topology enters
+        via its canonical hash, mappings are order-canonicalized, and the
+        scenario schema version guards against layout changes.
+        """
+        if stage not in _STAGE_FIELDS:
+            raise KeyError(f"unknown stage {stage!r}; stages: {STAGES}")
+        payload = repr((_SCENARIO_SCHEMA, stage,
+                        tuple(self._canonical_field(f) for f in _STAGE_FIELDS[stage])))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def key(self) -> str:
+        """Full content digest over every stage-relevant field.
+
+        This is the scenario's identity in sweep JSONL records: resume
+        matches completed records on it, so it must not include cosmetic or
+        execution-only fields.
+        """
+        return self.stage_key("simulate")
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for sweep records.
+
+        Topology/fabric objects (as opposed to spec strings) are recorded as
+        ``name#content-hash`` descriptors: enough to identify them, not to
+        rebuild them — resume matches on :meth:`key`, never by re-parsing.
+        """
+        out: Dict[str, object] = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if f.name == "topology" and isinstance(value, Topology):
+                value = f"{value.name}#{value.canonical_hash()[:16]}"
+            elif f.name == "fabric" and isinstance(value, FabricModel):
+                value = f"{value.name}#object"
+            elif f.name == "scheme_params":
+                value = dict(value)
+            elif f.name == "buffers":
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Build a scenario from a (possibly all-string, CLI-supplied) mapping."""
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown scenario field(s) {unknown}; known: {sorted(known)}")
+        kwargs: Dict[str, object] = {}
+        for key, value in data.items():
+            kwargs[key] = _coerce_field(key, value)
+        return cls(**kwargs)
+
+
+_FLOAT_FIELDS = ("host_bandwidth", "link_bandwidth", "path_diversity_threshold")
+_INT_FIELDS = ("num_steps", "max_disjoint_paths", "max_denominator")
+
+
+def _coerce_field(name: str, value: object) -> object:
+    """Coerce string values (from CLI flags / JSON grids) to field types."""
+    if not isinstance(value, str):
+        return value
+    if name in _FLOAT_FIELDS:
+        return None if value.lower() in ("", "none") else float(value)
+    if name in _INT_FIELDS:
+        return None if value.lower() in ("", "none") else int(value)
+    if name == "decompose_ts":
+        return value.lower() in ("1", "true", "yes", "on")
+    if name == "buffers":
+        # ';'-separated because ',' separates axis values in the CLI.
+        return tuple(float(x) for x in value.replace(";", " ").split() if x)
+    return value

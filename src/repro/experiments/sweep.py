@@ -1,0 +1,378 @@
+"""Grid sweeps with streaming JSONL results and hash-based resume.
+
+:class:`SweepGrid` expands a base scenario plus axes (cartesian product) into
+an ordered scenario list; :func:`run_sweep` executes them through the
+engine's :class:`~repro.engine.runner.ParallelRunner`, appending one JSONL
+record per *completed* scenario as it finishes — a killed sweep leaves a
+usable partial file, and re-running with ``resume=True`` skips every
+scenario whose :meth:`~repro.experiments.scenario.Scenario.key` already has
+an ``ok`` record.
+
+Record schema (one JSON object per line)::
+
+    {
+      "schema_version": 1,
+      "key": "<scenario content digest>",
+      "label": "hypercube:dim=3/mcf-extp",
+      "status": "ok" | "error",
+      "through": "simulate",                 # last stage the plan executed
+      "scenario": { ...Scenario.to_dict()... },
+      "metrics": {
+        "concurrent_flow": 0.25, "all_to_all_time": 4.0,
+        "num_nodes": 8, "num_assignments": 112,
+        "throughput_bytes_per_s": {"1048576": 1.2e9},
+        "completion_seconds": {"1048576": 0.002}
+      },
+      "timings": {"synthesize_seconds": ..., "lower_seconds": ...,
+                  "assemble_seconds": ..., "solve_seconds": ...},
+      "engine": {"cache": "miss", "backend": "scipy-highs", ...},
+      "stage_cache": {"synthesize": "miss", ...},
+      "error": null | "<message>"
+    }
+
+``metrics`` keys are omitted when a scheme does not define them (e.g. the
+TACCL surrogate emits schedule IR directly, so it has no LP flow value).
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..engine import ParallelRunner
+from ..engine.cache import SolutionCache
+from .plan import Plan, PlanResult
+from .scenario import Scenario, scenario_schema_version
+
+__all__ = ["SweepGrid", "ScenarioResult", "run_scenarios", "run_sweep",
+           "load_results", "completed_keys", "write_csv", "sweep_stats"]
+
+
+# --------------------------------------------------------------------------- #
+# Grid
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepGrid:
+    """A base scenario plus swept axes, expanded as a cartesian product.
+
+    ``base`` holds fixed scenario fields; ``axes`` maps field names to value
+    lists.  Expansion order is deterministic: axes vary in declaration order
+    with the last axis fastest, so resuming a sweep sees the same sequence.
+    """
+
+    base: Dict[str, object] = field(default_factory=dict)
+    axes: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = sorted(set(self.base) & set(self.axes))
+        if overlap:
+            raise ValueError(f"field(s) {overlap} appear in both base and axes")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand into concrete scenarios (deterministic order)."""
+        names = list(self.axes)
+        out: List[Scenario] = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            data = dict(self.base)
+            data.update(zip(names, combo))
+            out.append(Scenario.from_dict(data))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepGrid":
+        """Build from ``{"base": {...}, "axes": {...}}`` (both optional)."""
+        extra = sorted(set(data) - {"base", "axes"})
+        if extra:
+            raise ValueError(f"unknown grid key(s) {extra}; expected 'base'/'axes'")
+        return cls(base=dict(data.get("base", {})),
+                   axes={k: list(v) for k, v in dict(data.get("axes", {})).items()})
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepGrid":
+        """Load a JSON grid spec file."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario, serializable as one JSONL record."""
+
+    scenario: Scenario
+    key: str
+    status: str                               # "ok" | "error"
+    metrics: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    engine: Dict[str, object] = field(default_factory=dict)
+    stage_cache: Dict[str, str] = field(default_factory=dict)
+    through: str = "simulate"                 # last stage the plan executed
+    error: Optional[str] = None
+    resumed: bool = False
+    # In-process only (never serialized): the artifacts and original exception.
+    plan: Optional[PlanResult] = None
+    exception: Optional[BaseException] = None
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "schema_version": scenario_schema_version(),
+            "key": self.key,
+            "label": self.scenario.label(),
+            "status": self.status,
+            "through": self.through,
+            "scenario": self.scenario.to_dict(),
+            "metrics": self.metrics,
+            "timings": self.timings,
+            "engine": self.engine,
+            "stage_cache": self.stage_cache,
+            "error": self.error,
+        }
+
+
+def _metrics_from_plan(result: PlanResult) -> Dict[str, object]:
+    metrics: Dict[str, object] = {}
+    if result.concurrent_flow is not None:
+        metrics["concurrent_flow"] = result.concurrent_flow
+    if result.all_to_all_time is not None:
+        metrics["all_to_all_time"] = result.all_to_all_time
+    if result.num_terminals is not None:
+        metrics["num_nodes"] = result.num_terminals
+    lowered = result.lowered
+    if lowered is not None:
+        if hasattr(lowered, "num_steps"):
+            metrics["num_steps"] = int(lowered.num_steps)
+        if hasattr(lowered, "assignments"):
+            metrics["num_assignments"] = len(lowered.assignments)
+    if result.sim_results:
+        metrics["throughput_bytes_per_s"] = {
+            str(int(r.buffer_bytes)): r.throughput for r in result.sim_results}
+        metrics["completion_seconds"] = {
+            str(int(r.buffer_bytes)): r.completion_time for r in result.sim_results}
+    return metrics
+
+
+def _timings_from_plan(result: PlanResult) -> Dict[str, float]:
+    timings = {f"{stage}_seconds": seconds
+               for stage, seconds in result.stage_seconds.items()}
+    # Assembly/solve phases describe work done *now*; a schedule served from
+    # the stage cache carries the original miss's numbers in its metadata, so
+    # only surface them when this run actually synthesized (mirrors the
+    # engine dropping stale timings on LP-cache hits).
+    if result.stage_cache.get("synthesize") != "hit":
+        info = result.engine_info()
+        for phase in ("assemble_seconds", "solve_seconds"):
+            if isinstance(info.get(phase), (int, float)):
+                timings[phase] = float(info[phase])
+    timings["total_seconds"] = sum(result.stage_seconds.values())
+    return timings
+
+
+def _execute(scenario: Scenario, through: str, cache: Optional[SolutionCache],
+             n_jobs: int) -> ScenarioResult:
+    key = ""
+    try:
+        # Key computation resolves the topology, so a bad spec surfaces here
+        # as an error record (with an empty key) instead of killing the sweep.
+        key = scenario.key()
+        plan = Plan(scenario, cache=cache, n_jobs=n_jobs)
+        result = plan.run(through=through)
+    except Exception as exc:  # noqa: BLE001 - captured per scenario
+        return ScenarioResult(scenario=scenario, key=key, status="error",
+                              error=f"{type(exc).__name__}: {exc}", exception=exc)
+    return ScenarioResult(
+        scenario=scenario, key=key, status="ok",
+        metrics=_metrics_from_plan(result),
+        timings=_timings_from_plan(result),
+        engine=result.engine_info(),
+        stage_cache=dict(result.stage_cache),
+        through=through,
+        plan=result,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+def run_scenarios(scenarios: Sequence[Scenario], jobs: int = 1,
+                  through: str = "simulate",
+                  cache: Optional[SolutionCache] = None,
+                  n_jobs: int = 1) -> List[ScenarioResult]:
+    """Run scenarios (optionally concurrently), capturing per-scenario errors.
+
+    Results keep input order; parallel output is identical to serial because
+    every scenario is independent and the LP/stage caches are shared.
+    """
+    runner = ParallelRunner(jobs=jobs)
+    return runner.map(lambda s: _execute(s, through, cache, n_jobs), list(scenarios))
+
+
+def run_sweep(scenarios: Sequence[Scenario], out_path: Optional[str] = None,
+              jobs: int = 1, resume: bool = False, through: str = "simulate",
+              cache: Optional[SolutionCache] = None,
+              n_jobs: int = 1) -> List[ScenarioResult]:
+    """Execute a sweep with streaming JSONL output and optional resume.
+
+    Parameters
+    ----------
+    out_path:
+        JSONL file to append one record per completed scenario to (created
+        if missing).  ``None`` runs the sweep without persistence.
+    resume:
+        If True and ``out_path`` has records, scenarios whose key already has
+        an ``ok`` record are *not* re-executed; their stored record is
+        returned (``resumed=True``) in place.  Errored records are retried.
+    jobs:
+        Scenarios executed concurrently (threads share the caches).
+    """
+    scenarios = list(scenarios)
+    done: Dict[str, Dict[str, object]] = {}
+    if resume and out_path and os.path.exists(out_path):
+        from .scenario import STAGES
+
+        # Only records that ran at least as far as this sweep asks for count
+        # as complete: a synthesize-only record must not satisfy a simulate
+        # sweep (it has no simulation metrics to resume with).
+        needed = STAGES.index(through)
+        done = {rec["key"]: rec for rec in load_results(out_path)
+                if rec.get("status") == "ok"
+                and rec.get("through") in STAGES
+                and STAGES.index(rec["through"]) >= needed}
+
+    lock = threading.Lock()
+    out_fh = open(out_path, "a") if out_path else None
+    if out_fh is not None and out_fh.tell() > 0:
+        # A killed sweep can leave a torn final line with no newline; start a
+        # fresh line so the first appended record isn't glued onto it.
+        with open(out_path, "rb") as check:
+            check.seek(-1, os.SEEK_END)
+            if check.read(1) != b"\n":
+                out_fh.write("\n")
+    try:
+        def run_one(scenario: Scenario) -> ScenarioResult:
+            try:
+                key = scenario.key()
+            except Exception:  # noqa: BLE001 - bad spec: let _execute record it
+                key = ""
+            record = done.get(key) if key else None
+            if record is not None:
+                return ScenarioResult(
+                    scenario=scenario, key=key, status="ok",
+                    metrics=dict(record.get("metrics", {})),
+                    timings=dict(record.get("timings", {})),
+                    engine=dict(record.get("engine", {})),
+                    stage_cache=dict(record.get("stage_cache", {})),
+                    through=str(record.get("through", "simulate")),
+                    resumed=True,
+                )
+            result = _execute(scenario, through, cache, n_jobs)
+            if out_fh is not None:
+                line = json.dumps(result.to_record(), sort_keys=True)
+                with lock:
+                    out_fh.write(line + "\n")
+                    out_fh.flush()
+            return result
+
+        return ParallelRunner(jobs=jobs).map(run_one, scenarios)
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+
+
+# --------------------------------------------------------------------------- #
+# JSONL / CSV I/O
+# --------------------------------------------------------------------------- #
+def load_results(path: str) -> List[Dict[str, object]]:
+    """Parse a sweep JSONL file, skipping torn trailing lines.
+
+    A sweep killed mid-write can leave a partial last line; treating it as
+    absent (rather than failing) is what makes resume-after-kill work.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict) and "key" in rec:
+                records.append(rec)
+    return records
+
+
+def completed_keys(path: str) -> List[str]:
+    """Keys of scenarios with an ``ok`` record in a sweep JSONL file."""
+    return [rec["key"] for rec in load_results(path) if rec.get("status") == "ok"]
+
+
+def write_csv(results: Iterable[ScenarioResult], path: str) -> None:
+    """Flatten results to CSV (one row per scenario x buffer size).
+
+    Scenarios without simulation points emit a single row with empty buffer
+    columns, so synthesis-only sweeps still round-trip.
+    """
+    rows: List[Dict[str, object]] = []
+    for res in results:
+        base = {
+            "key": res.key,
+            "label": res.scenario.label(),
+            "status": res.status,
+            "scheme": res.scenario.scheme,
+            "topology": (res.scenario.topology if isinstance(res.scenario.topology, str)
+                         else res.scenario.topology.name),
+            "concurrent_flow": res.metrics.get("concurrent_flow", ""),
+            "all_to_all_time": res.metrics.get("all_to_all_time", ""),
+            "error": res.error or "",
+        }
+        throughputs = res.metrics.get("throughput_bytes_per_s") or {}
+        if throughputs:
+            for buf, tp in throughputs.items():
+                rows.append({**base, "buffer_bytes": buf, "throughput_bytes_per_s": tp})
+        else:
+            rows.append({**base, "buffer_bytes": "", "throughput_bytes_per_s": ""})
+    fieldnames = ["key", "label", "status", "scheme", "topology", "concurrent_flow",
+                  "all_to_all_time", "buffer_bytes", "throughput_bytes_per_s", "error"]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def sweep_stats(results: Sequence[ScenarioResult]) -> Dict[str, object]:
+    """Aggregate accounting across a sweep (for the CLI stats footer)."""
+    totals = {"scenarios": len(results),
+              "ok": sum(1 for r in results if r.status == "ok"),
+              "errors": sum(1 for r in results if r.status == "error"),
+              "resumed": sum(1 for r in results if r.resumed),
+              "assemble_seconds": 0.0, "solve_seconds": 0.0,
+              "stage_hits": 0, "stage_misses": 0}
+    for res in results:
+        if not res.resumed:
+            # Resumed records carry the *original* run's timings; summing them
+            # here would report solver work this run never did.
+            totals["assemble_seconds"] += float(res.timings.get("assemble_seconds", 0.0))
+            totals["solve_seconds"] += float(res.timings.get("solve_seconds", 0.0))
+        for status in res.stage_cache.values():
+            if status == "hit":
+                totals["stage_hits"] += 1
+            elif status == "miss":
+                totals["stage_misses"] += 1
+    return totals

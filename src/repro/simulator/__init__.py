@@ -8,7 +8,15 @@ from .costmodel import (
     throughput_upper_bound_curve,
 )
 from .events import Event, EventQueue
-from .fabric import GBPS, GIBI, FabricModel, a100_ml_fabric, cerio_hpc_fabric, ideal_fabric
+from .fabric import (
+    GBPS,
+    GIBI,
+    FabricModel,
+    a100_ml_fabric,
+    cerio_hpc_fabric,
+    fabric_from_spec,
+    ideal_fabric,
+)
 from .flowsim import FlowSimResult, FluidFlow, simulate_flows
 from .stepsim import StepSimResult, simulate_link_schedule
 
@@ -28,6 +36,7 @@ __all__ = [
     "FabricModel",
     "a100_ml_fabric",
     "cerio_hpc_fabric",
+    "fabric_from_spec",
     "ideal_fabric",
     "FlowSimResult",
     "FluidFlow",

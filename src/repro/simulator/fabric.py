@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FabricModel", "GBPS", "GIBI", "cerio_hpc_fabric", "a100_ml_fabric", "ideal_fabric"]
+__all__ = ["FabricModel", "GBPS", "GIBI", "cerio_hpc_fabric", "a100_ml_fabric",
+           "ideal_fabric", "fabric_from_spec"]
 
 GBPS = 1e9 / 8.0          # 1 Gbps in bytes/second
 GIBI = 2.0 ** 30
@@ -98,6 +99,31 @@ def a100_ml_fabric(link_gbps: float = 25.0, injection_gbps: Optional[float] = No
         per_message_overhead=5e-6,
         name="a100-ml",
     )
+
+
+def fabric_from_spec(spec) -> FabricModel:
+    """Resolve a fabric spec to a :class:`FabricModel`.
+
+    Accepts an existing :class:`FabricModel` (returned unchanged) or a compact
+    string ``name[:key=value,...]`` where ``name`` is one of ``hpc``, ``ml``
+    or ``ideal`` and the parameters are the keyword arguments of the matching
+    constructor, e.g. ``"hpc:forwarding_gbps=100"`` or
+    ``"ml:link_gbps=50"``.  This is the fabric analogue of
+    :func:`repro.topology.from_spec` and is what the declarative
+    :class:`~repro.experiments.Scenario` layer and the CLI parse.
+    """
+    if isinstance(spec, FabricModel):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"fabric spec must be a FabricModel or string, got {type(spec)!r}")
+    from ..topology.spec import parse_spec
+
+    name, raw = parse_spec(spec)
+    params = {key: float(value) for key, value in raw.items()}
+    makers = {"hpc": cerio_hpc_fabric, "ml": a100_ml_fabric, "ideal": ideal_fabric}
+    if name not in makers:
+        raise ValueError(f"unknown fabric {name!r} (expected one of {sorted(makers)})")
+    return makers[name](**params)
 
 
 def ideal_fabric(link_bandwidth: float = 1.0) -> FabricModel:

@@ -7,6 +7,7 @@ from .hypercube import hypercube, twisted_hypercube
 from .hyperx import flattened_butterfly, hyperx
 from .kautz import generalized_de_bruijn, generalized_kautz, kautz
 from .misc import bidirectional_ring, chain, complete, dragonfly, ring
+from .spec import from_spec, parse_spec, spec_families
 from .torus import (
     coordinate_of,
     edge_punctured_torus,
@@ -38,6 +39,9 @@ __all__ = [
     "complete",
     "dragonfly",
     "ring",
+    "from_spec",
+    "parse_spec",
+    "spec_families",
     "coordinate_of",
     "edge_punctured_torus",
     "mesh",

@@ -1,0 +1,306 @@
+"""Tests for the declarative experiment layer (repro.experiments).
+
+Covers scenario hashing stability, the staged Plan pipeline with artifact
+caching, grid expansion, streaming sweep runs, resume-from-JSONL, and the
+headline cache guarantee: re-running the same sweep solves zero new LPs.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import get_engine, reset_engine
+from repro.engine.cache import SolutionCache
+from repro.experiments import (
+    Plan,
+    Scenario,
+    SweepGrid,
+    completed_keys,
+    configure_plan_cache,
+    load_results,
+    reset_plan_cache,
+    run_scenarios,
+    run_sweep,
+    sweep_stats,
+    write_csv,
+)
+from repro.topology import hypercube
+
+
+@pytest.fixture()
+def fresh_caches():
+    """Fresh engine + plan caches, restored afterwards (global state hygiene)."""
+    reset_engine()
+    reset_plan_cache()
+    yield get_engine(), configure_plan_cache(enabled=True)
+    reset_engine()
+    reset_plan_cache()
+
+
+def _stage_cache() -> SolutionCache:
+    return SolutionCache(suffix=".stage.pkl", payload_type=object)
+
+
+class TestScenarioHashing:
+    def test_spec_and_object_topologies_hash_identically(self):
+        a = Scenario(topology="hypercube:dim=3", scheme="ewsp")
+        b = Scenario(topology=hypercube(3), scheme="ewsp")
+        assert a.key() == b.key()
+
+    def test_key_is_stable_across_constructions(self):
+        make = lambda: Scenario(topology="torus:dims=3x3", scheme="mcf-extp",  # noqa: E731
+                                buffers=[2 ** 20, 2 ** 24]).key()
+        assert make() == make()
+
+    def test_scheme_params_order_independent(self):
+        a = Scenario(topology="hypercube:dim=2", scheme="ilp-disjoint",
+                     scheme_params={"mip_rel_gap": 0.05, "time_limit": 120})
+        b = Scenario(topology="hypercube:dim=2", scheme="ilp-disjoint",
+                     scheme_params={"time_limit": 120, "mip_rel_gap": 0.05})
+        assert a.key() == b.key()
+
+    def test_content_fields_change_key(self):
+        base = Scenario(topology="hypercube:dim=3", scheme="ewsp")
+        assert base.key() != Scenario(topology="hypercube:dim=2", scheme="ewsp").key()
+        assert base.key() != Scenario(topology="hypercube:dim=3", scheme="sssp").key()
+        assert base.key() != Scenario(topology="hypercube:dim=3", scheme="ewsp",
+                                      fabric="ml").key()
+
+    def test_cosmetic_name_does_not_change_key(self):
+        a = Scenario(topology="hypercube:dim=3", scheme="ewsp", name="labelled")
+        b = Scenario(topology="hypercube:dim=3", scheme="ewsp")
+        assert a.key() == b.key()
+
+    def test_buffers_change_simulate_key_but_not_synthesize_key(self):
+        a = Scenario(topology="hypercube:dim=3", scheme="ewsp", buffers=(2 ** 20,))
+        b = Scenario(topology="hypercube:dim=3", scheme="ewsp", buffers=(2 ** 24,))
+        assert a.stage_key("synthesize") == b.stage_key("synthesize")
+        assert a.stage_key("lower") == b.stage_key("lower")
+        assert a.key() != b.key()
+
+    def test_auto_scheme_synthesize_key_tracks_fabric_forwarding(self):
+        # "auto" forwarding resolves through the fabric, so an hpc (NIC) and
+        # an ml (HOST) scenario must never share a synthesized schedule.
+        hpc = Scenario(topology="hypercube:dim=2", fabric="hpc", scheme="auto")
+        ml = Scenario(topology="hypercube:dim=2", fabric="ml", scheme="auto")
+        assert hpc.stage_key("synthesize") != ml.stage_key("synthesize")
+        # Schemes that ignore forwarding still share across fabrics.
+        hpc_ewsp = Scenario(topology="hypercube:dim=2", fabric="hpc", scheme="ewsp")
+        ml_ewsp = Scenario(topology="hypercube:dim=2", fabric="ml", scheme="ewsp")
+        assert hpc_ewsp.stage_key("synthesize") == ml_ewsp.stage_key("synthesize")
+
+    def test_auto_scheme_cached_branches_stay_distinct(self):
+        from repro.core.mcf_path import PathSchedule
+        from repro.core.mcf_timestepped import TimeSteppedFlow
+
+        cache = _stage_cache()
+        nic = Plan(Scenario(topology="hypercube:dim=2", fabric="hpc"),
+                   cache=cache).run(through="synthesize")
+        host = Plan(Scenario(topology="hypercube:dim=2", fabric="ml"),
+                    cache=cache).run(through="synthesize")
+        assert isinstance(nic.schedule, PathSchedule)
+        assert isinstance(host.schedule, TimeSteppedFlow)
+
+    def test_max_denominator_changes_lower_key_only(self):
+        a = Scenario(topology="hypercube:dim=3", scheme="ewsp", max_denominator=16)
+        b = Scenario(topology="hypercube:dim=3", scheme="ewsp", max_denominator=64)
+        assert a.stage_key("synthesize") == b.stage_key("synthesize")
+        assert a.stage_key("lower") != b.stage_key("lower")
+
+    def test_unsupported_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(topology="hypercube:dim=3", workload="allreduce")
+
+    def test_from_dict_coerces_cli_strings(self):
+        s = Scenario.from_dict({"topology": "hypercube:dim=3", "scheme": "ewsp",
+                                "buffers": "1048576;16777216",
+                                "max_denominator": "16", "decompose_ts": "true"})
+        assert s.buffers == (1048576.0, 16777216.0)
+        assert s.max_denominator == 16
+        assert s.decompose_ts is True
+        with pytest.raises(ValueError):
+            Scenario.from_dict({"topology": "hypercube:dim=3", "bogus_field": 1})
+
+
+class TestPlan:
+    def test_stages_produce_expected_artifacts(self, bipartite44):
+        plan = Plan(Scenario(topology=bipartite44, scheme="ewsp",
+                             buffers=(2 ** 20, 2 ** 24)), cache=_stage_cache())
+        synth = plan.run(through="synthesize")
+        assert synth.schedule is not None and synth.lowered is None
+        done = plan.run()
+        assert done.validated
+        assert len(done.sim_results) == 2
+        assert done.concurrent_flow > 0
+        assert done.all_to_all_time > 0
+
+    def test_plan_matches_direct_computation(self, bipartite44):
+        from repro.paths import ewsp_schedule
+        from repro.schedule import chunk_path_schedule
+        from repro.simulator import cerio_hpc_fabric, throughput_sweep
+
+        direct = throughput_sweep(chunk_path_schedule(ewsp_schedule(bipartite44),
+                                                      max_denominator=16),
+                                  [2 ** 22], fabric=cerio_hpc_fabric())
+        plan = Plan(Scenario(topology=bipartite44, scheme="ewsp", fabric="hpc",
+                             max_denominator=16, buffers=(2 ** 22,)),
+                    cache=_stage_cache())
+        result = plan.run()
+        assert result.sim_results[0].throughput == direct[0].throughput
+
+    def test_shared_cache_serves_second_plan(self, bipartite44):
+        cache = _stage_cache()
+        scenario = Scenario(topology=bipartite44, scheme="sssp", buffers=(2 ** 20,))
+        first = Plan(scenario, cache=cache).run()
+        assert set(first.stage_cache.values()) == {"miss"}
+        second = Plan(scenario, cache=cache).run()
+        assert set(second.stage_cache.values()) == {"hit"}
+        assert (second.sim_results[0].throughput
+                == first.sim_results[0].throughput)
+
+    def test_synthesize_artifact_shared_across_buffer_sizes(self, bipartite44):
+        cache = _stage_cache()
+        a = Plan(Scenario(topology=bipartite44, scheme="sssp", buffers=(2 ** 20,)),
+                 cache=cache).run()
+        b = Plan(Scenario(topology=bipartite44, scheme="sssp", buffers=(2 ** 24,)),
+                 cache=cache).run()
+        assert a.stage_cache["synthesize"] == "miss"
+        assert b.stage_cache["synthesize"] == "hit"    # same schedule, new buffers
+        assert b.stage_cache["simulate"] == "miss"
+
+    def test_disk_tier_persists_stage_artifacts(self, bipartite44, tmp_path):
+        scenario = Scenario(topology=bipartite44, scheme="sssp", buffers=(2 ** 20,))
+        cache = SolutionCache(cache_dir=str(tmp_path), suffix=".stage.pkl",
+                              payload_type=object)
+        Plan(scenario, cache=cache).run()
+        fresh = SolutionCache(cache_dir=str(tmp_path), suffix=".stage.pkl",
+                              payload_type=object)
+        result = Plan(scenario, cache=fresh).run()
+        assert set(result.stage_cache.values()) == {"hit"}
+        assert fresh.disk_hits == 4
+
+    def test_tsmcf_scheme_with_host_bottleneck(self):
+        plan = Plan(Scenario(topology="torus:dims=3x3", fabric="ml", scheme="tsmcf",
+                             host_bandwidth=8.0 / 3.0), cache=_stage_cache())
+        result = plan.run(through="synthesize")
+        assert result.schedule.meta.get("augmented") is True
+        assert result.num_terminals == 9
+        assert result.schedule.topology.num_nodes == 27
+
+    def test_unknown_scheme_is_an_error(self, bipartite44):
+        plan = Plan(Scenario(topology=bipartite44, scheme="does-not-exist"),
+                    cache=_stage_cache())
+        with pytest.raises(KeyError):
+            plan.run(through="synthesize")
+
+
+class TestSweepGrid:
+    def test_cartesian_expansion_order(self):
+        grid = SweepGrid(base={"fabric": "hpc"},
+                         axes={"topology": ["hypercube:dim=2", "hypercube:dim=3"],
+                               "scheme": ["ewsp", "sssp"]})
+        scenarios = grid.scenarios()
+        assert len(grid) == 4 and len(scenarios) == 4
+        assert [s.label() for s in scenarios] == [
+            "hypercube:dim=2/ewsp", "hypercube:dim=2/sssp",
+            "hypercube:dim=3/ewsp", "hypercube:dim=3/sssp"]
+
+    def test_base_axis_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(base={"scheme": "ewsp"}, axes={"scheme": ["sssp"]})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            SweepGrid.from_dict({"base": {}, "axis": {}})
+
+
+class TestRunSweep:
+    GRID = SweepGrid(base={"fabric": "hpc", "buffers": [2 ** 20], "max_denominator": 16},
+                     axes={"topology": ["hypercube:dim=2", "bipartite:left=3,right=3"],
+                           "scheme": ["ewsp", "sssp"]})
+
+    def test_streaming_jsonl_records(self, tmp_path):
+        out = str(tmp_path / "sweep.jsonl")
+        results = run_sweep(self.GRID.scenarios(), out_path=out, jobs=2,
+                            cache=_stage_cache())
+        assert [r.status for r in results] == ["ok"] * 4
+        records = load_results(out)
+        assert len(records) == 4
+        for rec in records:
+            assert rec["schema_version"] == 1
+            assert rec["status"] == "ok"
+            assert len(rec["key"]) == 64
+            assert rec["metrics"]["concurrent_flow"] > 0
+            assert rec["timings"]["total_seconds"] >= 0
+        assert sorted(completed_keys(out)) == sorted(r.key for r in results)
+
+    def test_error_scenarios_recorded_not_raised(self, tmp_path):
+        out = str(tmp_path / "err.jsonl")
+        scenarios = [Scenario(topology="bipartite:left=3,right=3", scheme="dor")]
+        results = run_sweep(scenarios, out_path=out, cache=_stage_cache())
+        assert results[0].status == "error" and results[0].error
+        assert load_results(out)[0]["status"] == "error"
+        assert completed_keys(out) == []
+
+    def test_resume_skips_completed_and_retries_errors(self, tmp_path):
+        out = str(tmp_path / "resume.jsonl")
+        scenarios = self.GRID.scenarios()
+        run_sweep(scenarios, out_path=out, cache=_stage_cache())
+        # Simulate a killed sweep: keep the first two records (plus a torn
+        # trailing line, which the loader must ignore).
+        records = [json.dumps(r, sort_keys=True) for r in load_results(out)]
+        with open(out, "w") as fh:
+            fh.write("\n".join(records[:2]) + "\n" + records[2][:37])
+        resumed = run_sweep(scenarios, out_path=out, resume=True,
+                            cache=_stage_cache())
+        assert [r.resumed for r in resumed] == [True, True, False, False]
+        assert [r.status for r in resumed] == ["ok"] * 4
+        assert len(completed_keys(out)) == 4
+        # Resumed metrics come from the file and match the recomputed shape.
+        assert resumed[0].metrics["concurrent_flow"] > 0
+
+    def test_resume_ignores_records_from_shallower_runs(self, tmp_path):
+        out = str(tmp_path / "shallow.jsonl")
+        scenarios = [Scenario(topology="hypercube:dim=2", scheme="ewsp",
+                              buffers=(2 ** 20,), max_denominator=16)]
+        run_sweep(scenarios, out_path=out, through="synthesize",
+                  cache=_stage_cache())
+        assert load_results(out)[0]["through"] == "synthesize"
+        # A full-simulate sweep must not accept the synthesize-only record.
+        results = run_sweep(scenarios, out_path=out, resume=True,
+                            through="simulate", cache=_stage_cache())
+        assert results[0].resumed is False
+        assert "throughput_bytes_per_s" in results[0].metrics
+        # ...but a synthesize-only resume accepts the full record just written.
+        again = run_sweep(scenarios, out_path=out, resume=True,
+                          through="synthesize", cache=_stage_cache())
+        assert again[0].resumed is True
+
+    def test_rerun_solves_zero_new_lps(self, tmp_path, fresh_caches):
+        engine, _plan_cache = fresh_caches
+        grid = SweepGrid(base={"fabric": "hpc", "buffers": [2 ** 20],
+                               "max_denominator": 16, "scheme": "mcf-extp"},
+                         axes={"topology": ["hypercube:dim=2",
+                                            "bipartite:left=3,right=3"]})
+        run_sweep(grid.scenarios(), out_path=str(tmp_path / "a.jsonl"))
+        misses_after_first = engine.cache.misses
+        assert misses_after_first > 0
+        results = run_sweep(grid.scenarios(), out_path=str(tmp_path / "b.jsonl"))
+        assert engine.cache.misses == misses_after_first
+        assert all(set(r.stage_cache.values()) == {"hit"} for r in results)
+
+    def test_sweep_stats_aggregation(self, tmp_path):
+        out = str(tmp_path / "stats.jsonl")
+        results = run_sweep(self.GRID.scenarios(), out_path=out, cache=_stage_cache())
+        stats = sweep_stats(results)
+        assert stats["scenarios"] == 4 and stats["ok"] == 4
+        assert stats["errors"] == 0 and stats["resumed"] == 0
+        assert stats["stage_misses"] == 16
+
+    def test_write_csv(self, tmp_path):
+        results = run_scenarios(self.GRID.scenarios()[:2], cache=_stage_cache())
+        path = tmp_path / "out.csv"
+        write_csv(results, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("key,label,status")
+        assert len(lines) == 3    # header + 2 scenarios x 1 buffer

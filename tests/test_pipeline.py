@@ -51,6 +51,35 @@ class TestHostForwarding:
         assert schedule.topology.num_nodes == 8
         assert "augmented" not in schedule.meta
 
+    def test_host_bandwidth_equal_to_aggregate_skips_augmentation(self, cube3):
+        # The augmentation triggers strictly below the NIC aggregate (3 links
+        # at capacity 1.0), so exactly-matching host bandwidth is a no-op.
+        request = SchedulingRequest(forwarding=ForwardingModel.HOST,
+                                    host_bandwidth=3.0, link_bandwidth=1.0)
+        schedule = generate_schedule(cube3, request)
+        assert schedule.topology.num_nodes == 8
+        assert "augmented" not in schedule.meta
+
+    def test_decomposed_ts_branch_matches_monolithic(self, cube3):
+        mono = generate_schedule(cube3, SchedulingRequest(
+            forwarding=ForwardingModel.HOST))
+        deco = generate_schedule(cube3, SchedulingRequest(
+            forwarding=ForwardingModel.HOST, decompose_ts=True))
+        assert isinstance(deco, TimeSteppedFlow)
+        assert deco.total_utilization == pytest.approx(mono.total_utilization, rel=1e-6)
+
+    def test_decomposed_ts_branch_with_augmentation(self, cube3):
+        schedule = generate_schedule(cube3, SchedulingRequest(
+            forwarding=ForwardingModel.HOST, decompose_ts=True,
+            host_bandwidth=1.5, link_bandwidth=1.0))
+        assert schedule.meta.get("augmented") is True
+        assert schedule.topology.num_nodes == 24
+
+    def test_num_steps_override_is_honored(self, cube3):
+        schedule = generate_schedule(cube3, SchedulingRequest(
+            forwarding=ForwardingModel.HOST, num_steps=5))
+        assert schedule.num_steps == 5
+
 
 class TestNicForwarding:
     def test_low_diversity_uses_pmcf(self, genkautz_3_10):
@@ -67,6 +96,24 @@ class TestNicForwarding:
         schedule = generate_schedule(torus, request)
         assert isinstance(schedule, PathSchedule)
         assert schedule.meta["pipeline"] == "mcf-extp"
+
+    def test_threshold_flips_branch_on_same_topology(self, genkautz_3_10):
+        # The same topology goes down either branch depending on where the
+        # path-diversity threshold sits relative to its measured diversity.
+        diversity = estimate_path_diversity(genkautz_3_10)
+        below = generate_schedule(genkautz_3_10, SchedulingRequest(
+            forwarding=ForwardingModel.NIC, path_diversity_threshold=diversity - 0.01))
+        above = generate_schedule(genkautz_3_10, SchedulingRequest(
+            forwarding=ForwardingModel.NIC, path_diversity_threshold=diversity + 0.01))
+        assert below.meta["pipeline"] == "mcf-extp"
+        assert above.meta["pipeline"] == "pmcf-disjoint"
+
+    def test_max_disjoint_paths_caps_candidates(self, bipartite44):
+        schedule = generate_schedule(bipartite44, SchedulingRequest(
+            forwarding=ForwardingModel.NIC, path_diversity_threshold=100.0,
+            max_disjoint_paths=1))
+        assert isinstance(schedule, PathSchedule)
+        assert all(len(paths) <= 1 for paths in schedule.paths.values())
 
     def test_default_request_is_nic(self, genkautz_3_10):
         schedule = generate_schedule(genkautz_3_10)

@@ -1,5 +1,7 @@
 """Tests for the scheme-comparison sweep layer and the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.analysis import available_schemes, compare_schemes, run_scheme
@@ -117,3 +119,55 @@ class TestCLI:
         assert main(args + ["--jobs", "3"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+    def test_compare_surfaces_cache_stats_on_stderr(self, capsys):
+        assert main(["compare", "hypercube:dim=2", "--schemes", "ewsp"]) == 0
+        err = capsys.readouterr().err
+        assert "lp-cache:" in err and "stage-cache:" in err
+
+
+class TestSweepCLI:
+    ARGS = ["sweep",
+            "--axis", "topology=hypercube:dim=2;bipartite:left=3,right=3",
+            "--axis", "scheme=ewsp;sssp",
+            "--set", "buffers=1048576", "--set", "max_denominator=16"]
+
+    def test_sweep_writes_jsonl_and_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.jsonl")
+        csv_path = str(tmp_path / "sweep.csv")
+        assert main(self.ARGS + ["--out", out, "--csv", csv_path, "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Sweep: 4 scenario(s)" in captured.out
+        assert "lp-cache:" in captured.err and "solve" in captured.err
+        records = [json.loads(line) for line in open(out)]
+        assert len(records) == 4
+        assert all(r["status"] == "ok" and r["schema_version"] == 1 for r in records)
+        assert open(csv_path).readline().startswith("key,label,status")
+
+    def test_sweep_resume_skips_completed(self, tmp_path, capsys):
+        out = str(tmp_path / "resume.jsonl")
+        assert main(self.ARGS + ["--out", out]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--out", out, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("resumed") == 4
+        assert "(4 resumed)" in captured.err
+        assert len(open(out).readlines()) == 4    # nothing re-appended
+
+    def test_sweep_from_grid_file(self, tmp_path, capsys):
+        grid = {"base": {"scheme": "ewsp", "buffers": [1048576]},
+                "axes": {"topology": ["hypercube:dim=2", "ring:n=4"]}}
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid))
+        assert main(["sweep", "--grid", str(path)]) == 0
+        assert "Sweep: 2 scenario(s)" in capsys.readouterr().out
+
+    def test_sweep_error_scenario_sets_exit_code(self, capsys):
+        # DOR is undefined on a bipartite topology: recorded, exit code 1.
+        assert main(["sweep", "--set", "topology=bipartite:left=3,right=3",
+                     "--axis", "scheme=dor;ewsp"]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_sweep_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            main(["sweep"])
