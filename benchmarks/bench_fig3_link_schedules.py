@@ -9,62 +9,29 @@ Topologies: complete bipartite K4,4, 3D hypercube and 3D twisted hypercube
 bottleneck standing in for the 27-node TACC torus (3x3 at the default scale,
 3x3x3 with REPRO_BENCH_SCALE=paper).
 
-Each column is one declarative :class:`~repro.experiments.Scenario` executed
-through the staged :class:`~repro.experiments.Plan` pipeline — the benchmark
-declares topology spec + scheme + fabric + buffers and reads the simulated
-series back; the tsMCF column's synthesize stage is what ``benchmark`` times.
+Each panel is declared once in :data:`repro.report.specs.FIG3` — the same
+spec ``repro report`` renders — and executed here through
+:func:`repro.report.specs.run_panel`, which drives the staged
+:class:`~repro.experiments.Plan` pipeline and reproduces the pre-registry
+result tables byte-for-byte; the tsMCF synthesize stage is what ``benchmark``
+times.
 
 Expected shape: tsMCF tracks the upper bound at large buffers and beats the
 TACCL surrogate (by ~20-60%); all schemes are latency-bound at small buffers.
 """
 
-
-from repro.analysis import format_throughput_sweep
-from repro.experiments import Plan, Scenario
-from repro.simulator import a100_ml_fabric, steady_state_throughput
-from repro.topology import from_spec
-
-FABRIC = a100_ml_fabric()          # 25 Gbps links, store-and-forward
+from repro.report.specs import FIG3, run_panel
 
 
-def _upper_bound_row(num_terminals, flow_value, buffers):
-    bound = steady_state_throughput(num_terminals, flow_value, FABRIC)
-
-    class _Fake:
-        def __init__(self, buf):
-            self.buffer_bytes = buf
-            self.throughput = bound
-
-    return [_Fake(b) for b in buffers]
+def _run_panel(key, buffer_sweep, record, bench_timer, scale="small"):
+    data = run_panel(FIG3, FIG3.panel(key, scale=scale), buffers=buffer_sweep,
+                     timer=bench_timer)
+    record("fig3_link_schedules", data.tables[0].text)
+    return data.series
 
 
-def _run_topology(name, spec, buffer_sweep, record, benchmark=None, host_bandwidth=None):
-    plan = Plan(Scenario(topology=spec, fabric="ml", scheme="tsmcf",
-                         host_bandwidth=host_bandwidth, buffers=tuple(buffer_sweep)))
-    if benchmark is not None:
-        benchmark.pedantic(lambda: plan.run(through="synthesize"), rounds=1, iterations=1)
-    ts = plan.run()
-    flow_value = ts.concurrent_flow
-
-    # The bound (like the simulated series) is expressed over the graph the
-    # schedule runs on — the augmented graph when a host bottleneck applies.
-    results = {
-        "Upper Bound": _upper_bound_row(ts.schedule.topology.num_nodes, flow_value,
-                                        buffer_sweep),
-        "tsMCF/G": ts.sim_results,
-    }
-    if host_bandwidth is None:
-        taccl = Plan(Scenario(topology=spec, fabric="ml", scheme="taccl",
-                              buffers=tuple(buffer_sweep))).run()
-        results["TACCL/G"] = taccl.sim_results
-    record("fig3_link_schedules", format_throughput_sweep(
-        results, title=f"Fig. 3 ({name}, N={ts.num_terminals}): throughput GB/s vs buffer size"))
-    return results
-
-
-def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
-    results = _run_topology("Complete Bipartite", "bipartite:left=4,right=4",
-                            buffer_sweep, record, benchmark)
+def test_fig3_complete_bipartite(bench_timer, record, buffer_sweep):
+    results = _run_panel("bipartite", buffer_sweep, record, bench_timer)
     mcf = results["tsMCF/G"][-1].throughput
     taccl = results["TACCL/G"][-1].throughput
     bound = results["Upper Bound"][-1].throughput
@@ -73,26 +40,18 @@ def test_fig3_complete_bipartite(benchmark, record, buffer_sweep):
     assert mcf >= taccl
 
 
-def test_fig3_hypercube(benchmark, record, buffer_sweep):
-    results = _run_topology("3D Hypercube", "hypercube:dim=3", buffer_sweep,
-                            record, benchmark)
+def test_fig3_hypercube(bench_timer, record, buffer_sweep):
+    results = _run_panel("hypercube", buffer_sweep, record, bench_timer)
     assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
 
 
-def test_fig3_twisted_hypercube(benchmark, record, buffer_sweep):
-    results = _run_topology("3D Twisted Hypercube", "twisted:dim=3", buffer_sweep,
-                            record, benchmark)
+def test_fig3_twisted_hypercube(bench_timer, record, buffer_sweep):
+    results = _run_panel("twisted", buffer_sweep, record, bench_timer)
     assert results["tsMCF/G"][-1].throughput >= results["TACCL/G"][-1].throughput
 
 
-def test_fig3_torus_with_host_bottleneck(benchmark, record, buffer_sweep, scale):
+def test_fig3_torus_with_host_bottleneck(bench_timer, record, buffer_sweep, scale):
     """Torus column of Fig. 3: tsMCF on the host-NIC-bottleneck augmented graph."""
-    dims = "3x3x3" if scale == "paper" else "3x3"
-    spec = f"torus:dims={dims}"
-    # §5.1 ratio: 100 Gbps injection vs degree * 25 Gbps NIC bandwidth, i.e. the
-    # host moves 2/3 of the NIC aggregate (4 link-units at degree 6).
-    host_bandwidth = from_spec(spec).degree() * 2.0 / 3.0
-    results = _run_topology(f"Torus {dims} (host bottleneck)", spec, buffer_sweep,
-                            record, benchmark, host_bandwidth=host_bandwidth)
+    results = _run_panel("torus", buffer_sweep, record, bench_timer, scale=scale)
     bound = results["Upper Bound"][-1].throughput
     assert results["tsMCF/G"][-1].throughput <= bound * 1.001

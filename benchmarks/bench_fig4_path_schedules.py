@@ -6,10 +6,11 @@ Executed on the cut-through fluid simulator with the Cerio-like fabric
 (forwarding bandwidth above injection bandwidth), so path-based schedules can
 exploit the extra forwarding bandwidth.
 
-Every column is one declarative :class:`~repro.experiments.Scenario`
-(topology spec x scheme x chunking denominator x buffer sweep) executed
-through the staged :class:`~repro.experiments.Plan` pipeline; the MCF-extP
-synthesize stage is what ``benchmark`` times.
+Every panel is declared once in :data:`repro.report.specs.FIG4` (topology
+spec x scheme x chunking denominator x buffer sweep) — the same spec
+``repro report`` renders — and executed here through
+:func:`repro.report.specs.run_panel` with byte-identical result tables; the
+MCF-extP synthesize stage is what ``benchmark`` times.
 
 Expected shape (paper §5.2): MCF-extP tracks the upper bound; it beats the
 native baseline by up to ~2.3x on the complete bipartite topology and beats
@@ -19,56 +20,18 @@ bipartite topology; DOR matches ILP-disjoint on the torus.
 
 import pytest
 
-from repro.analysis import format_throughput_sweep
-from repro.experiments import Plan, Scenario
-from repro.simulator import cerio_hpc_fabric, steady_state_throughput
-from repro.topology import from_spec
-
-FABRIC = cerio_hpc_fabric()
-MAX_DENOM = 16
+from repro.report.specs import FIG4, run_panel
 
 
-class _Bound:
-    def __init__(self, buf, tp):
-        self.buffer_bytes = buf
-        self.throughput = tp
+def _run_panel(key, buffer_sweep, record, bench_timer, scale="small"):
+    data = run_panel(FIG4, FIG4.panel(key, scale=scale), buffers=buffer_sweep,
+                     timer=bench_timer)
+    record("fig4_path_schedules", data.tables[0].text)
+    return data.series
 
 
-def _scenario(spec, scheme, buffer_sweep, scheme_params=None):
-    return Scenario(topology=spec, scheme=scheme,
-                    scheme_params=scheme_params or {}, fabric="hpc",
-                    max_denominator=MAX_DENOM, buffers=tuple(buffer_sweep))
-
-
-def _run(name, spec, schemes, buffer_sweep, record, benchmark=None):
-    results = {}
-    optimal_flow = None
-    for label, (scheme, params) in schemes.items():
-        plan = Plan(_scenario(spec, scheme, buffer_sweep, params))
-        if label == "MCF-extP/C" and benchmark is not None:
-            benchmark.pedantic(lambda: plan.run(through="synthesize"),
-                               rounds=1, iterations=1)
-        done = plan.run()
-        if label == "MCF-extP/C":
-            optimal_flow = done.concurrent_flow
-        results[label] = done.sim_results
-    topo = from_spec(spec)
-    bound = steady_state_throughput(topo.num_nodes, optimal_flow, FABRIC)
-    results = {"Upper Bound": [_Bound(b, bound) for b in buffer_sweep], **results}
-    record("fig4_path_schedules", format_throughput_sweep(
-        results, title=f"Fig. 4 ({name}, N={topo.num_nodes}): throughput GB/s vs buffer size"))
-    return results
-
-
-def test_fig4_complete_bipartite(benchmark, record, buffer_sweep):
-    schemes = {
-        "MCF-extP/C": ("mcf-extp", None),
-        "ILP-disjoint/C": ("ilp-disjoint", None),
-        "EwSP/C": ("ewsp", None),
-        "NCCL-native/G": ("native", None),
-    }
-    results = _run("Complete Bipartite", "bipartite:left=4,right=4", schemes,
-                   buffer_sweep, record, benchmark)
+def test_fig4_complete_bipartite(bench_timer, record, buffer_sweep):
+    results = _run_panel("bipartite", buffer_sweep, record, bench_timer)
     large = -1
     mcf = results["MCF-extP/C"][large].throughput
     assert mcf >= results["ILP-disjoint/C"][large].throughput - 1e6
@@ -76,41 +39,18 @@ def test_fig4_complete_bipartite(benchmark, record, buffer_sweep):
     assert mcf >= 0.8 * results["Upper Bound"][large].throughput
 
 
-def test_fig4_hypercube(benchmark, record, buffer_sweep):
-    schemes = {
-        "MCF-extP/C": ("mcf-extp", None),
-        "ILP-disjoint/C": ("ilp-disjoint", None),
-        "EwSP/C": ("ewsp", None),
-        "SSSP/C": ("sssp", None),
-    }
-    results = _run("3D Hypercube", "hypercube:dim=3", schemes, buffer_sweep,
-                   record, benchmark)
+def test_fig4_hypercube(bench_timer, record, buffer_sweep):
+    results = _run_panel("hypercube", buffer_sweep, record, bench_timer)
     assert results["MCF-extP/C"][-1].throughput >= 0.8 * results["Upper Bound"][-1].throughput
 
 
-def test_fig4_twisted_hypercube(benchmark, record, buffer_sweep):
-    schemes = {
-        "MCF-extP/C": ("mcf-extp", None),
-        "EwSP/C": ("ewsp", None),
-        "SSSP/C": ("sssp", None),
-    }
-    results = _run("3D Twisted Hypercube", "twisted:dim=3", schemes, buffer_sweep,
-                   record, benchmark)
+def test_fig4_twisted_hypercube(bench_timer, record, buffer_sweep):
+    results = _run_panel("twisted", buffer_sweep, record, bench_timer)
     assert results["MCF-extP/C"][-1].throughput >= 0.8 * results["Upper Bound"][-1].throughput
 
 
-def test_fig4_torus(benchmark, record, buffer_sweep, scale):
-    dims = "3x3x3" if scale == "paper" else "3x3"
-    schemes = {
-        "MCF-extP/C": ("mcf-extp", None),
-        "ILP-disjoint/C": ("ilp-disjoint", {"mip_rel_gap": 0.05, "time_limit": 120}),
-        "DOR/C": ("dor", None),
-        "SSSP/C": ("sssp", None),
-        "EwSP/C": ("ewsp", None),
-        "OMPI-native/C": ("native", None),
-    }
-    results = _run(f"Torus {dims}", f"torus:dims={dims}", schemes, buffer_sweep,
-                   record, benchmark)
+def test_fig4_torus(bench_timer, record, buffer_sweep, scale):
+    results = _run_panel("torus", buffer_sweep, record, bench_timer, scale=scale)
     large = -1
     mcf = results["MCF-extP/C"][large].throughput
     assert mcf >= results["SSSP/C"][large].throughput

@@ -4,57 +4,31 @@ Reproduces the qualitative comparison of Table 1 as concrete fabric-model
 parameters and measures the simulator's throughput for the same schedule under
 both models (forwarding bandwidth vs none), which is the quantitative content
 behind the table's "Forwarding BW >= B vs = B" row.
+
+Both tables are declared in :data:`repro.report.specs.TABLE1` — the same spec
+``repro report`` renders — and regenerated here byte-identically through
+:func:`repro.report.specs.run_panel`.
 """
 
-
-from repro.analysis import format_table
 from repro.engine.cache import SolutionCache
-from repro.experiments import Plan, Scenario
-from repro.simulator import a100_ml_fabric, cerio_hpc_fabric
+from repro.report.specs import TABLE1, run_panel
 
 
-def test_table1_fabric_models(benchmark, record):
-    hpc = cerio_hpc_fabric()
-    ml = a100_ml_fabric()
-
-    rows = [
-        ["Schedules", "Path-based", "Link-based"],
-        ["Topology focus", "Bisection bandwidth", "Node bandwidth"],
-        ["Flow control", "Cut-through", "Store-and-forward"],
-        ["NIC forwarding", str(hpc.nic_forwarding), str(ml.nic_forwarding)],
-        ["Link bandwidth (GB/s)", f"{hpc.link_bandwidth / 1e9:.3f}", f"{ml.link_bandwidth / 1e9:.3f}"],
-        ["Injection BW (GB/s)",
-         f"{(hpc.injection_bandwidth or 0) / 1e9:.3f}",
-         "= d*b" if ml.injection_bandwidth is None else f"{ml.injection_bandwidth / 1e9:.3f}"],
-        ["Forwarding BW (GB/s)",
-         f"{(hpc.forwarding_bandwidth or 0) / 1e9:.3f}", "= injection"],
-        ["Per-step latency (us)", f"{hpc.per_step_latency * 1e6:.1f}", f"{ml.per_step_latency * 1e6:.1f}"],
-    ]
-    record("table1_fabrics", format_table(
-        ["Property", "HPC (Cerio-like)", "ML accelerator (A100-like)"], rows,
-        title="Table 1: fabric models used by the simulator"))
+def test_table1_fabric_models(bench_timer, record):
+    record("table1_fabrics", TABLE1.static_table().text)
 
     # Quantify the forwarding-bandwidth effect: the same path schedule on a
-    # 3x3 torus is faster when the NIC fabric has extra forwarding bandwidth.
-    # Two declarative scenarios differing only in the fabric spec: they share
-    # the synthesize/lower stage keys, so through a (local, benchmark-scoped)
-    # stage cache the second scenario reuses the first one's schedule instead
-    # of re-solving the MCF.  Local because the session conftest disables the
-    # global caches; the timed first run still starts cold.
-    buf = 2 ** 26
+    # 3x3 torus under two forwarding-bandwidth settings.  The two scenarios
+    # differ only in the fabric spec, so they share the synthesize/lower stage
+    # keys and — through a local, benchmark-scoped stage cache — the second
+    # reuses the first one's schedule instead of re-solving the MCF.  Local
+    # because the session conftest disables the global caches; the timed
+    # first run (through the lower stage) still starts cold.
     stage_cache = SolutionCache(suffix=".stage.pkl", payload_type=object)
-    full = Plan(Scenario(topology="torus:dims=3x3", scheme="mcf-extp",
-                         fabric="hpc", buffers=(buf,)), cache=stage_cache)
-    benchmark.pedantic(lambda: full.run(through="lower"), rounds=1, iterations=1)
-    hpc_tp = full.run().sim_results[0].throughput
-    capped = Plan(Scenario(topology="torus:dims=3x3", scheme="mcf-extp",
-                           fabric="hpc:forwarding_gbps=100",   # capped at injection
-                           buffers=(buf,)), cache=stage_cache)
-    capped_result = capped.run()
-    assert capped_result.stage_cache["synthesize"] == "hit"    # shared, not re-solved
-    capped_tp = capped_result.sim_results[0].throughput
-    record("table1_fabrics", format_table(
-        ["fabric", "throughput GB/s"],
-        [["forwarding 300 Gbps", hpc_tp / 1e9], ["forwarding 100 Gbps", capped_tp / 1e9]],
-        title="Forwarding-bandwidth effect (same MCF-extP schedule, 3x3 torus, 64 MiB)"))
+    data = run_panel(TABLE1, TABLE1.panel("forwarding"), cache=stage_cache,
+                     timer=bench_timer)
+    assert data.results["forwarding 100 Gbps"].stage_cache["synthesize"] == "hit"
+    record("table1_fabrics", data.tables[-1].text)
+    hpc_tp = data.series["forwarding 300 Gbps"][0].throughput
+    capped_tp = data.series["forwarding 100 Gbps"][0].throughput
     assert hpc_tp >= capped_tp

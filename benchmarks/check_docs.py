@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Strict markdown link check for the docs site (CI ``docs`` job gate).
+
+Usage: python benchmarks/check_docs.py README.md docs/*.md
+
+For every ``[text](target)`` link in the given files:
+
+* relative file targets must exist on disk (resolved against the containing
+  file's directory, URL fragments stripped);
+* in-page and cross-page ``#fragment`` anchors must match a heading slug in
+  the target file (GitHub-style slugification);
+* ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI).
+
+Exit code 0 when every link resolves, 1 with a per-link report otherwise.
+Fenced code blocks are ignored so shell snippets containing brackets don't
+produce false positives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _strip_fences(text: str) -> str:
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading slug: lowercase, punctuation dropped, spaces -> dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: str, cache: Dict[str, set]) -> set:
+    if path not in cache:
+        with open(path) as fh:
+            text = _strip_fences(fh.read())
+        cache[path] = {_slugify(m.group(1))
+                       for line in text.splitlines()
+                       if (m := HEADING_RE.match(line))}
+    return cache[path]
+
+
+def check_file(path: str, anchor_cache: Dict[str, set], errors: List[str]) -> int:
+    with open(path) as fh:
+        text = _strip_fences(fh.read())
+    base = os.path.dirname(os.path.abspath(path))
+    count = 0
+    for match in LINK_RE.finditer(text):
+        target = match.group(0)
+        dest = match.group(1)
+        count += 1
+        if dest.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part, _, fragment = dest.partition("#")
+        target_path = (os.path.normpath(os.path.join(base, file_part))
+                       if file_part else os.path.abspath(path))
+        if not os.path.exists(target_path):
+            errors.append(f"{path}: broken link {target} -> {target_path}")
+            continue
+        if fragment and os.path.isfile(target_path) and target_path.endswith(".md"):
+            if _slugify(fragment) not in _anchors(target_path, anchor_cache):
+                errors.append(f"{path}: missing anchor #{fragment} in {file_part or path}")
+    return count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    args = parser.parse_args(argv)
+
+    errors: List[str] = []
+    anchor_cache: Dict[str, set] = {}
+    total = 0
+    for path in args.files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file does not exist")
+            continue
+        total += check_file(path, anchor_cache, errors)
+
+    if errors:
+        for err in errors:
+            print(f"DOCS: {err}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {total} link(s) across {len(args.files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

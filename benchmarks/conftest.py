@@ -174,6 +174,16 @@ def record_json(results_dir, scale):
     return _record_json
 
 
+@pytest.fixture
+def bench_timer(benchmark):
+    """One-shot timing hook for :func:`repro.report.specs.run_panel`.
+
+    Wraps a callable in a single ``benchmark.pedantic`` round — the timing
+    discipline every spec-wrapping benchmark (Fig. 3/4, Table 1) shares.
+    """
+    return lambda fn: benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
 @pytest.fixture(scope="session")
 def buffer_sweep(scale):
     """Buffer-size sweep (total per-node bytes), the x-axis of Fig. 3/4/5."""

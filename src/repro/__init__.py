@@ -16,6 +16,7 @@ from . import (
     engine,
     experiments,
     paths,
+    report,
     routing,
     schedule,
     simulator,
@@ -23,7 +24,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",
@@ -33,6 +34,7 @@ __all__ = [
     "engine",
     "experiments",
     "paths",
+    "report",
     "routing",
     "schedule",
     "simulator",

@@ -1,10 +1,17 @@
 """Analysis helpers: normalization, envelopes, and report formatting."""
 
-from .report import format_series, format_table, format_throughput_sweep, human_bytes
+from .report import (
+    format_engine_footer,
+    format_series,
+    format_table,
+    format_throughput_sweep,
+    human_bytes,
+)
 from .sweep import PATH_SCHEMES, SchemeResult, available_schemes, compare_schemes, run_scheme
 from .throughput import Envelope, crossover_buffer, envelope, normalize_times, speedup
 
 __all__ = [
+    "format_engine_footer",
     "format_series",
     "format_table",
     "format_throughput_sweep",

@@ -9,7 +9,29 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_throughput_sweep", "human_bytes"]
+__all__ = ["format_table", "format_series", "format_throughput_sweep",
+           "format_engine_footer", "human_bytes"]
+
+
+def format_engine_footer(engine_stats: Mapping[str, object],
+                         stage_stats: Mapping[str, object],
+                         extra: str = "") -> str:
+    """One-line LP/stage-cache accounting footer.
+
+    The single source of the ``[stats] ...`` line printed (to stderr) by
+    ``repro compare``, ``repro sweep`` and ``repro report`` — one format
+    string instead of one per call site, so the footers can never drift
+    apart.  ``engine_stats`` is ``Engine.stats()`` (cache counters plus
+    backend name); ``stage_stats`` is the plan cache's
+    :meth:`~repro.engine.cache.SolutionCache.stats`.
+    """
+    line = (f"[stats] lp-cache: {engine_stats['hits']} hits / "
+            f"{engine_stats['misses']} misses "
+            f"({engine_stats['disk_hits']} from disk) "
+            f"backend={engine_stats['backend']}; "
+            f"stage-cache: {stage_stats['hits']} hits / "
+            f"{stage_stats['misses']} misses")
+    return line + (f"; {extra}" if extra else "")
 
 
 def human_bytes(num_bytes: float) -> str:

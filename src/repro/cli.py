@@ -9,7 +9,9 @@ Mirrors the tool chain a user of the paper's system would drive:
   across a buffer sweep and print the throughput series;
 * ``repro compare``     -- compare several schemes on one topology (Fig. 8 style);
 * ``repro sweep``       -- run a declarative scenario grid (topology x scheme x
-  fabric x ...) with streaming JSONL results, resumable by scenario hash.
+  fabric x ...) with streaming JSONL results, resumable by scenario hash;
+* ``repro report``      -- regenerate the paper's figures/tables as a
+  provenance-stamped report directory (see ``docs/cli.md``).
 
 Topology specs are compact strings such as ``genkautz:d=4,n=24``,
 ``torus:dims=3x3x3``, ``hypercube:dim=3``, ``bipartite:left=4,right=4``,
@@ -24,7 +26,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis import format_table
+from .analysis import format_engine_footer, format_table
 from .analysis.sweep import available_schemes, compare_schemes
 from .core import (
     ForwardingModel,
@@ -130,15 +132,13 @@ def _print_engine_stats(extra: str = "") -> None:
 
     stderr so that stdout stays byte-identical across repeated invocations
     (hit counts and wall-clock seconds legitimately differ run to run).
+    The format itself lives in :func:`repro.analysis.format_engine_footer`,
+    shared by every subcommand that prints the footer.
     """
     from .engine import get_engine
 
-    stats = get_engine().stats()
-    plan = get_plan_cache().stats()
-    print(f"[stats] lp-cache: {stats['hits']} hits / {stats['misses']} misses "
-          f"({stats['disk_hits']} from disk) backend={stats['backend']}; "
-          f"stage-cache: {plan['hits']} hits / {plan['misses']} misses"
-          + (f"; {extra}" if extra else ""), file=sys.stderr)
+    print(format_engine_footer(get_engine().stats(), get_plan_cache().stats(),
+                               extra), file=sys.stderr)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -221,6 +221,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if totals["errors"] else 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import available_specs, describe_registry, generate_report
+
+    if args.list:
+        print(describe_registry())
+        return 0
+    only = None
+    if args.only is not None:
+        only = [spec_id.strip() for spec_id in args.only.split(",") if spec_id.strip()]
+        if not only:
+            raise ValueError(f"--only {args.only!r} names no artifacts; "
+                             f"available: {', '.join(available_specs())}")
+        unknown = sorted(set(only) - set(available_specs()))
+        if unknown:
+            raise ValueError(f"unknown artifact(s) {unknown}; "
+                             f"available: {', '.join(available_specs())}")
+    summary = generate_report(out_dir=args.out, only=only, fast=args.fast,
+                              jobs=args.jobs, n_jobs=args.lp_jobs,
+                              resume=args.resume)
+    rows = [[sr.spec_id, sr.kind, sr.status, round(sr.seconds, 3),
+             sr.num_scenarios, sr.num_resumed]
+            for sr in summary.spec_results]
+    print(format_table(["artifact", "kind", "status", "seconds", "scenarios",
+                        "resumed"], rows,
+                       title=f"Report: {len(summary.spec_results)} artifact(s)"))
+    for err in summary.errors:
+        print(f"error: {err}")
+    print(f"wrote {summary.index_path}"
+          + (" (+ index.html)" if len(summary.index_files) > 1 else ""))
+    _print_engine_stats(
+        f"artifacts: {sum(1 for sr in summary.spec_results if sr.status == 'ok')} ok "
+        f"/ {sum(1 for sr in summary.spec_results if sr.status == 'error')} error; "
+        f"new LP solves: {summary.provenance.get('new_lp_solves', 0)}")
+    return 1 if summary.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     from . import __version__
@@ -292,6 +328,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--resume", action="store_true",
                        help="skip scenarios whose key already has an ok record in --out")
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="regenerate the paper's figures/tables as a provenance-stamped report",
+        description="Run registered artifact specs (fig3, fig4, fig7, fig10, "
+                    "table1, ...) through the scenario sweep pipeline and "
+                    "render report/index.md with figures (matplotlib when "
+                    "available, CSV/Markdown always), per-artifact timings, "
+                    "git SHA and cache counters.")
+    p_rep.add_argument("--only", default=None,
+                       help="comma-separated artifact ids (default: all), "
+                            "e.g. --only fig3,table1")
+    p_rep.add_argument("--fast", action="store_true",
+                       help="reduced grids sized for CI smoke runs")
+    p_rep.add_argument("--out", "-o", default="report",
+                       help="report output directory (default: report/)")
+    p_rep.add_argument("--jobs", type=int, default=1,
+                       help="scenarios executed concurrently")
+    p_rep.add_argument("--lp-jobs", type=int, default=1,
+                       help="child-LP workers within each scenario")
+    p_rep.add_argument("--resume", action="store_true",
+                       help="reuse completed records from a previous run's "
+                            "data/*.jsonl instead of starting fresh")
+    p_rep.add_argument("--list", action="store_true",
+                       help="list registered artifacts and exit")
+    p_rep.set_defaults(func=_cmd_report)
     return parser
 
 

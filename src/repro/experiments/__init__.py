@@ -33,6 +33,8 @@ from .sweep import (
     SweepGrid,
     completed_keys,
     load_results,
+    metrics_from_plan,
+    result_from_plan,
     run_scenarios,
     run_sweep,
     sweep_stats,
@@ -55,6 +57,8 @@ __all__ = [
     "SweepGrid",
     "completed_keys",
     "load_results",
+    "metrics_from_plan",
+    "result_from_plan",
     "run_scenarios",
     "run_sweep",
     "sweep_stats",

@@ -50,7 +50,8 @@ from .plan import Plan, PlanResult
 from .scenario import Scenario, scenario_schema_version
 
 __all__ = ["SweepGrid", "ScenarioResult", "run_scenarios", "run_sweep",
-           "load_results", "completed_keys", "write_csv", "sweep_stats"]
+           "load_results", "completed_keys", "write_csv", "sweep_stats",
+           "metrics_from_plan", "result_from_plan"]
 
 
 # --------------------------------------------------------------------------- #
@@ -145,7 +146,14 @@ class ScenarioResult:
         }
 
 
-def _metrics_from_plan(result: PlanResult) -> Dict[str, object]:
+def metrics_from_plan(result: PlanResult) -> Dict[str, object]:
+    """Flatten a :class:`PlanResult` into the JSONL ``metrics`` mapping.
+
+    Public because the report layer (:mod:`repro.report`) aggregates paper
+    artifacts from exactly this shape, whether the scenario ran through
+    :func:`run_sweep` or through a benchmark-driven
+    :class:`~repro.experiments.plan.Plan`.
+    """
     metrics: Dict[str, object] = {}
     if result.concurrent_flow is not None:
         metrics["concurrent_flow"] = result.concurrent_flow
@@ -153,6 +161,11 @@ def _metrics_from_plan(result: PlanResult) -> Dict[str, object]:
         metrics["all_to_all_time"] = result.all_to_all_time
     if result.num_terminals is not None:
         metrics["num_nodes"] = result.num_terminals
+    topo = getattr(result.schedule, "topology", None)
+    if topo is not None:
+        # The graph the schedule actually runs on (the augmented graph when a
+        # host bottleneck applies) — what throughput upper bounds scale with.
+        metrics["num_graph_nodes"] = int(topo.num_nodes)
     lowered = result.lowered
     if lowered is not None:
         if hasattr(lowered, "num_steps"):
@@ -183,6 +196,27 @@ def _timings_from_plan(result: PlanResult) -> Dict[str, float]:
     return timings
 
 
+def result_from_plan(scenario: Scenario, result: PlanResult,
+                     through: str = "simulate",
+                     key: Optional[str] = None) -> ScenarioResult:
+    """Wrap an executed :class:`PlanResult` as an ``ok`` :class:`ScenarioResult`.
+
+    Shared by the sweep executor and callers that drive plans directly (the
+    benchmark wrappers in :mod:`repro.report.specs`), so both produce records
+    with identical metric/timing semantics.
+    """
+    return ScenarioResult(
+        scenario=scenario, key=scenario.key() if key is None else key,
+        status="ok",
+        metrics=metrics_from_plan(result),
+        timings=_timings_from_plan(result),
+        engine=result.engine_info(),
+        stage_cache=dict(result.stage_cache),
+        through=through,
+        plan=result,
+    )
+
+
 def _execute(scenario: Scenario, through: str, cache: Optional[SolutionCache],
              n_jobs: int) -> ScenarioResult:
     key = ""
@@ -195,15 +229,7 @@ def _execute(scenario: Scenario, through: str, cache: Optional[SolutionCache],
     except Exception as exc:  # noqa: BLE001 - captured per scenario
         return ScenarioResult(scenario=scenario, key=key, status="error",
                               error=f"{type(exc).__name__}: {exc}", exception=exc)
-    return ScenarioResult(
-        scenario=scenario, key=key, status="ok",
-        metrics=_metrics_from_plan(result),
-        timings=_timings_from_plan(result),
-        engine=result.engine_info(),
-        stage_cache=dict(result.stage_cache),
-        through=through,
-        plan=result,
-    )
+    return result_from_plan(scenario, result, through=through, key=key)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,131 @@
+"""Aggregation shapes shared by the report driver and the benchmark wrappers.
+
+A spec's aggregation step turns sweep records (the ``metrics``/``timings``
+mappings of :class:`~repro.experiments.sweep.ScenarioResult`) into
+:class:`Table` and :class:`Plot` artifacts.  Working from the *record* shape —
+never from live schedule objects — is what lets one aggregation serve three
+callers identically:
+
+* ``repro report`` (records come from :func:`~repro.experiments.sweep.run_sweep`,
+  possibly resumed from JSONL),
+* the Fig. 3 / Fig. 4 / Table 1 benchmarks (records come from plans the
+  benchmark timed itself),
+* tests replaying stored JSONL files.
+
+:attr:`Table.text` always holds the exact
+:func:`~repro.analysis.report.format_table` /
+:func:`~repro.analysis.report.format_throughput_sweep` rendering, so benchmark
+output stays byte-identical to the pre-registry hand-rolled versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..analysis import format_table, format_throughput_sweep
+
+__all__ = ["Point", "Table", "Plot", "SpecResult", "throughput_series",
+           "make_table", "throughput_table"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One simulated point of a buffer sweep (duck-types ``CollectiveResult``)."""
+
+    buffer_bytes: float
+    throughput: float
+
+
+@dataclass
+class Table:
+    """One rendered table: structured rows plus the exact text rendering."""
+
+    name: str                      # file-stem suffix, e.g. "bipartite"
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    text: str                      # aligned text table (benchmark golden output)
+
+
+@dataclass
+class Plot:
+    """One figure panel for the optional matplotlib backend.
+
+    ``series`` maps a label to y-values over the shared ``x`` axis; ``colors``
+    pins each label to a fixed categorical color (identity follows the entity,
+    so a panel that drops a series never repaints the survivors).
+    """
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    x: List[float]
+    series: Dict[str, List[float]]
+    colors: Dict[str, str] = field(default_factory=dict)
+    logx: bool = False
+    logy: bool = False
+
+
+@dataclass
+class SpecResult:
+    """Everything one artifact spec produced: tables, plots, raw records."""
+
+    spec_id: str
+    kind: str                      # "figure" | "table"
+    title: str
+    description: str
+    tables: List[Table] = field(default_factory=list)
+    plots: List[Plot] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    num_scenarios: int = 0
+    num_resumed: int = 0
+    stage_cache: Dict[str, int] = field(default_factory=dict)  # hit/miss counts
+    seconds: float = 0.0           # stamped by the driver
+
+    @property
+    def status(self) -> str:
+        """``ok`` when every underlying scenario succeeded."""
+        return "error" if self.errors else "ok"
+
+
+# --------------------------------------------------------------------------- #
+# Record -> artifact helpers
+# --------------------------------------------------------------------------- #
+def throughput_series(metrics: Mapping[str, object]) -> List[Point]:
+    """The simulated buffer sweep of one record as :class:`Point` objects.
+
+    ``throughput_bytes_per_s`` keys are stringified buffer sizes in insertion
+    (= sweep) order, which JSON round-trips preserve.
+    """
+    throughputs = metrics.get("throughput_bytes_per_s") or {}
+    return [Point(float(buf), float(tp)) for buf, tp in throughputs.items()]
+
+
+def make_table(name: str, title: str, headers: Sequence[str],
+               rows: Sequence[Sequence[object]],
+               text: Optional[str] = None) -> Table:
+    """Build a :class:`Table`, rendering ``text`` via ``format_table`` unless given."""
+    rows = [list(row) for row in rows]
+    if text is None:
+        text = format_table(list(headers), rows, title=title)
+    return Table(name=name, title=title, headers=list(headers), rows=rows, text=text)
+
+
+def throughput_table(name: str, title: str,
+                     series_by_label: Mapping[str, Sequence[Point]]) -> Table:
+    """A Fig. 3/4-style throughput-vs-buffer table (text via ``format_throughput_sweep``).
+
+    The text rendering is the byte-identical benchmark output; the structured
+    rows mirror it (buffer bytes as the first column, GB/s per series).
+    """
+    text = format_throughput_sweep(dict(series_by_label), title=title)
+    labels = list(series_by_label)
+    buffers = [p.buffer_bytes for p in series_by_label[labels[0]]] if labels else []
+    rows = []
+    for i, buf in enumerate(buffers):
+        rows.append([int(buf)] + [series_by_label[label][i].throughput / 1e9
+                                  for label in labels])
+    return Table(name=name, title=title, headers=["buffer_bytes"] + labels,
+                 rows=rows, text=text)
