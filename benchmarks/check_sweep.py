@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Validate a sweep JSONL file against the record schema (CI sweep-smoke gate).
 
-Usage: python benchmarks/check_sweep.py results.jsonl [--expect N]
+Usage: python benchmarks/check_sweep.py results.jsonl [--expect N] [--require-sim]
 
 Checks every line parses, carries the mandatory record fields with the right
-shapes (64-hex key, schema_version 1, ok/error status, numeric metrics and
-timings), and — with ``--expect`` — that exactly N records exist and all are
-``ok``.  Exit code 0 on success, 1 with a per-line report otherwise.
+shapes (64-hex key, current schema_version, ok/error status, numeric metrics
+and timings), and — with ``--expect`` — that exactly N records exist and all are
+``ok``.  ``--require-sim`` (the CI sim-smoke gate) additionally requires each
+ok record to carry the simulator cost counters (``sim_fill_rounds``,
+``sim_events``) and, for scenarios with ``overlap > 1``, per-collective
+completion times with exactly ``overlap`` entries per buffer point.  Exit
+code 0 on success, 1 with a per-line report otherwise.
 
 The record schema is documented in :mod:`repro.experiments.sweep`.
 """
@@ -22,6 +26,10 @@ REQUIRED_FIELDS = ("schema_version", "key", "label", "status", "through",
                    "scenario", "metrics", "timings", "engine", "stage_cache",
                    "error")
 
+#: Mirrors repro.experiments.scenario_schema_version() without importing the
+#: package (this script runs without PYTHONPATH=src in CI).
+SCHEMA_VERSION = 2
+
 
 def check_record(index: int, line: str, errors: List[str]) -> dict:
     try:
@@ -33,8 +41,9 @@ def check_record(index: int, line: str, errors: List[str]) -> dict:
     if missing:
         errors.append(f"line {index}: missing field(s) {missing}")
         return rec
-    if rec["schema_version"] != 1:
-        errors.append(f"line {index}: schema_version {rec['schema_version']!r} != 1")
+    if rec["schema_version"] != SCHEMA_VERSION:
+        errors.append(f"line {index}: schema_version {rec['schema_version']!r} "
+                      f"!= {SCHEMA_VERSION}")
     if rec["status"] not in ("ok", "error"):
         errors.append(f"line {index}: bad status {rec['status']!r}")
     if rec["status"] == "ok":
@@ -56,11 +65,37 @@ def check_record(index: int, line: str, errors: List[str]) -> dict:
     return rec
 
 
+def check_sim_metrics(index: int, rec: dict, errors: List[str]) -> None:
+    """The --require-sim gate: simulator counters and overlap metrics."""
+    if rec.get("status") != "ok":
+        return
+    metrics = rec.get("metrics", {})
+    for counter in ("sim_fill_rounds", "sim_events"):
+        value = metrics.get(counter)
+        if not isinstance(value, int) or value < 1:
+            errors.append(f"line {index}: metrics[{counter!r}] missing or < 1")
+    overlap = rec.get("scenario", {}).get("overlap", 1)
+    if isinstance(overlap, int) and overlap > 1:
+        times = metrics.get("overlap_completion_seconds")
+        if not isinstance(times, dict) or not times:
+            errors.append(f"line {index}: overlap={overlap} record lacks "
+                          "overlap_completion_seconds")
+            return
+        for buf, values in times.items():
+            if not isinstance(values, list) or len(values) != overlap:
+                errors.append(f"line {index}: overlap_completion_seconds[{buf}] "
+                              f"has {len(values) if isinstance(values, list) else '?'} "
+                              f"entries, expected {overlap}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("jsonl", help="sweep results file to validate")
     parser.add_argument("--expect", type=int, default=None,
                         help="require exactly N records, all with status ok")
+    parser.add_argument("--require-sim", action="store_true",
+                        help="require simulator counters (and per-collective "
+                             "times for overlap scenarios) in every ok record")
     args = parser.parse_args(argv)
 
     errors: List[str] = []
@@ -70,7 +105,10 @@ def main(argv=None) -> int:
             line = line.strip()
             if not line:
                 continue
-            records.append(check_record(index, line, errors))
+            rec = check_record(index, line, errors)
+            if args.require_sim:
+                check_sim_metrics(index, rec, errors)
+            records.append(rec)
 
     statuses = [r.get("status") for r in records]
     if args.expect is not None:

@@ -15,15 +15,19 @@ __all__ = ["format_table", "format_series", "format_throughput_sweep",
 
 def format_engine_footer(engine_stats: Mapping[str, object],
                          stage_stats: Mapping[str, object],
-                         extra: str = "") -> str:
-    """One-line LP/stage-cache accounting footer.
+                         extra: str = "",
+                         sim_stats: Optional[Mapping[str, object]] = None) -> str:
+    """One-line LP/stage-cache/simulator accounting footer.
 
     The single source of the ``[stats] ...`` line printed (to stderr) by
-    ``repro compare``, ``repro sweep`` and ``repro report`` — one format
-    string instead of one per call site, so the footers can never drift
-    apart.  ``engine_stats`` is ``Engine.stats()`` (cache counters plus
-    backend name); ``stage_stats`` is the plan cache's
-    :meth:`~repro.engine.cache.SolutionCache.stats`.
+    ``repro compare``, ``repro sweep``, ``repro simulate`` and
+    ``repro report`` — one format string instead of one per call site, so
+    the footers can never drift apart.  ``engine_stats`` is
+    ``Engine.stats()`` (cache counters plus backend name); ``stage_stats``
+    is the plan cache's :meth:`~repro.engine.cache.SolutionCache.stats`;
+    ``sim_stats`` is :func:`repro.simulator.engine_counters` (fill rounds
+    and completion events processed by the fluid engine), so sweep/report
+    runs expose simulation cost the same way they expose LP cost.
     """
     line = (f"[stats] lp-cache: {engine_stats['hits']} hits / "
             f"{engine_stats['misses']} misses "
@@ -31,6 +35,9 @@ def format_engine_footer(engine_stats: Mapping[str, object],
             f"backend={engine_stats['backend']}; "
             f"stage-cache: {stage_stats['hits']} hits / "
             f"{stage_stats['misses']} misses")
+    if sim_stats is not None:
+        line += (f"; sim: {sim_stats['fill_rounds']} fill rounds / "
+                 f"{sim_stats['events']} events")
     return line + (f"; {extra}" if extra else "")
 
 

@@ -32,7 +32,6 @@ from .core import (
     ForwardingModel,
     SchedulingRequest,
     generate_schedule,
-    solve_mcf_extract_paths,
 )
 from .core.mcf_path import PathSchedule
 from .core.mcf_timestepped import TimeSteppedFlow
@@ -51,7 +50,7 @@ from .schedule import (
     compile_to_msccl_xml,
     compile_to_ompi_xml,
 )
-from .simulator import fabric_from_spec, throughput_sweep
+from .simulator import fabric_from_spec
 from .topology import Topology, from_spec, properties
 
 __all__ = ["build_topology", "main"]
@@ -68,6 +67,16 @@ def _fabric(name: str):
 
 def _buffer_list(spec: str) -> List[float]:
     return [float(int(x)) for x in spec.split(",") if x]
+
+
+def _apply_set_args(items, base: dict) -> dict:
+    """Fold repeatable ``--set FIELD=VALUE`` flags into a scenario field dict."""
+    for item in items or []:
+        if "=" not in item:
+            raise ValueError(f"malformed --set {item!r} (expected field=value)")
+        key, value = item.split("=", 1)
+        base[key.strip()] = value.strip()
+    return base
 
 
 # --------------------------------------------------------------------------- #
@@ -115,20 +124,61 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    topo = build_topology(args.topology)
-    fabric = _fabric(args.fabric)
-    schedule = solve_mcf_extract_paths(topo, n_jobs=args.jobs)
-    routed = chunk_path_schedule(schedule)
-    buffers = _buffer_list(args.buffers)
-    results = throughput_sweep(routed, buffers, fabric=fabric)
-    rows = [[int(r.buffer_bytes), r.completion_time, r.throughput / 1e9] for r in results]
-    print(format_table(["buffer bytes", "time (s)", "throughput GB/s"], rows,
-                       title=f"MCF-extP all-to-all on {topo.name} ({args.fabric} fabric)"))
+    """Scenario-driven simulation: one scenario through the staged Plan pipeline.
+
+    The scenario comes from the positional topology plus flags, with
+    ``--set field=value`` overriding any :class:`~repro.experiments.Scenario`
+    field — including the new axes: ``--overlap 2`` runs two copies of the
+    collective concurrently, and a degraded fabric rides on the fabric spec
+    (``--fabric "hpc:down=0~1"``).  With ``--out`` the run appends one sweep
+    JSONL record (resumable with ``--resume``), so ``repro simulate`` output
+    composes with the same tooling as ``repro sweep``.
+    """
+    from .experiments import Scenario
+
+    base = {"scheme": args.scheme, "fabric": args.fabric,
+            "buffers": tuple(_buffer_list(args.buffers)), "overlap": args.overlap}
+    if args.topology:
+        base["topology"] = args.topology
+    _apply_set_args(args.set, base)
+    if "topology" not in base:
+        raise ValueError("no topology: pass it positionally or via --set topology=...")
+    scenario = Scenario.from_dict(base)
+
+    results = run_sweep([scenario], out_path=args.out, resume=args.resume,
+                        n_jobs=args.jobs)
+    res = results[0]
+    if res.status == "error":
+        print(f"error: {res.scenario.label()}: {res.error}")
+        _print_engine_stats()
+        return 1
+
+    throughputs = res.metrics.get("throughput_bytes_per_s") or {}
+    completions = res.metrics.get("completion_seconds") or {}
+    overlap_times = res.metrics.get("overlap_completion_seconds") or {}
+    headers = ["buffer bytes", "time (s)", "throughput GB/s"]
+    if overlap_times:
+        headers.append("per-collective (s)")
+    rows = []
+    for buf, tp in throughputs.items():
+        row = [int(buf), completions.get(buf, ""), tp / 1e9]
+        if overlap_times:
+            row.append(" ".join(f"{t:.6f}" for t in overlap_times.get(buf, [])))
+        rows.append(row)
+    status = "resumed" if res.resumed else "ok"
+    fabric_label = (scenario.fabric if isinstance(scenario.fabric, str)
+                    else scenario.fabric.name)
+    print(format_table(headers, rows,
+                       title=f"{scenario.label()} ({fabric_label} fabric, "
+                             f"overlap={scenario.overlap}) [{status}]"))
+    if args.out:
+        print(f"record appended to {args.out}")
+    _print_engine_stats()
     return 0
 
 
 def _print_engine_stats(extra: str = "") -> None:
-    """Cache/solve accounting footer, printed to stderr.
+    """Cache/solve/simulator accounting footer, printed to stderr.
 
     stderr so that stdout stays byte-identical across repeated invocations
     (hit counts and wall-clock seconds legitimately differ run to run).
@@ -136,9 +186,11 @@ def _print_engine_stats(extra: str = "") -> None:
     shared by every subcommand that prints the footer.
     """
     from .engine import get_engine
+    from .simulator import engine_counters
 
     print(format_engine_footer(get_engine().stats(), get_plan_cache().stats(),
-                               extra), file=sys.stderr)
+                               extra, sim_stats=engine_counters()),
+          file=sys.stderr)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -167,11 +219,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.grid:
         grid = SweepGrid.from_file(args.grid)
         base, axes = dict(grid.base), dict(grid.axes)
-    for item in args.set or []:
-        if "=" not in item:
-            raise ValueError(f"malformed --set {item!r} (expected field=value)")
-        key, value = item.split("=", 1)
-        base[key.strip()] = value.strip()
+    _apply_set_args(args.set, base)
     for item in args.axis or []:
         if "=" not in item:
             raise ValueError(f"malformed --axis {item!r} (expected field=v1;v2;...)")
@@ -282,11 +330,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--jobs", type=int, default=1, help="parallel child-LP workers")
     p_syn.set_defaults(func=_cmd_synthesize)
 
-    p_sim = sub.add_parser("simulate", help="simulate the MCF-extP schedule on a fabric")
-    p_sim.add_argument("topology")
-    p_sim.add_argument("--fabric", default="hpc")
+    p_sim = sub.add_parser(
+        "simulate",
+        help="simulate one scenario on the unified fluid engine",
+        description="Run one declarative scenario through the staged Plan "
+                    "pipeline and print its throughput series.  Supports the "
+                    "overlap axis (--overlap N copies sharing the fabric) and "
+                    "degraded fabrics on the fabric spec, e.g. "
+                    "--fabric 'hpc:down=0~1' or 'hpc:scale=0~1:0.5'.  With "
+                    "--out, appends one sweep-compatible JSONL record.")
+    p_sim.add_argument("topology", nargs="?", default=None,
+                       help="topology spec (or use --set topology=...)")
+    p_sim.add_argument("--fabric", default="hpc",
+                       help="fabric spec, e.g. hpc, ml:link_gbps=50, hpc:down=0~1")
+    p_sim.add_argument("--scheme", default="mcf-extp",
+                       help=f"scheme name from: {', '.join(available_scenario_schemes())}")
     p_sim.add_argument("--buffers", default="1048576,16777216,268435456",
                        help="comma-separated per-node buffer sizes in bytes")
+    p_sim.add_argument("--overlap", type=int, default=1,
+                       help="concurrent copies of the collective sharing the fabric")
+    p_sim.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="set any scenario field (repeatable), "
+                            "e.g. --set max_denominator=16")
+    p_sim.add_argument("--out", "-o", default=None,
+                       help="append one sweep JSONL record here")
+    p_sim.add_argument("--resume", action="store_true",
+                       help="skip the run if --out already has an ok record for it")
     p_sim.add_argument("--jobs", type=int, default=1,
                        help="parallel child-LP workers for the decomposed MCF")
     p_sim.set_defaults(func=_cmd_simulate)

@@ -13,10 +13,20 @@ FLOW_TOL
     :mod:`repro.core.flow`.
 
 SIM_EPS
-    Epsilon for the fluid (progressive-filling) simulator's rate and
-    remaining-bytes comparisons.  It is much tighter than ``FLOW_TOL``
+    Epsilon for the fluid (progressive-filling) simulator's *rate*
+    comparisons: a rate below ``SIM_EPS`` bytes/second is treated as zero
+    (the flow is stalled), and two resource fair-shares closer than
+    ``SIM_EPS`` are considered tied.  It is much tighter than ``FLOW_TOL``
     because the simulator accumulates byte counts over many events and a
     loose epsilon would terminate transfers early.
+
+SIM_BYTES_EPS
+    Threshold below which a flow's *remaining bytes* count as delivered.
+    Progressive filling advances time by ``remaining / rate`` divisions
+    whose float round-off leaves residues far above ``SIM_EPS``; without
+    this coarser cutoff a flow could survive its own completion event and
+    spin the event loop.  Shared by the vectorized engine and the scalar
+    reference simulator so their completion times stay comparable.
 
 SCHEDULE_TOL
     Coverage tolerance for schedule validation: a commodity counts as fully
@@ -27,10 +37,12 @@ SCHEDULE_TOL
 
 from __future__ import annotations
 
-__all__ = ["FLOW_TOL", "SIM_EPS", "SCHEDULE_TOL"]
+__all__ = ["FLOW_TOL", "SIM_EPS", "SIM_BYTES_EPS", "SCHEDULE_TOL"]
 
 FLOW_TOL = 1e-9
 
 SIM_EPS = 1e-12
+
+SIM_BYTES_EPS = 1e-6
 
 SCHEDULE_TOL = 1e-6

@@ -246,7 +246,8 @@ class Plan:
             return []
         return throughput_sweep(self.result.lowered, list(scenario.buffers),
                                 fabric=scenario.resolved_fabric(),
-                                validate_first=False)
+                                validate_first=False,
+                                overlap=scenario.overlap)
 
     def _install(self, stage: str, artifact: object) -> None:
         if stage == "synthesize":

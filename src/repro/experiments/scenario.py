@@ -64,7 +64,9 @@ STAGES: Tuple[str, ...] = ("synthesize", "lower", "validate", "simulate")
 #: Bump when the Scenario hashing payload or artifact schema changes, so a
 #: persistent ``REPRO_CACHE_DIR`` stage tier from an older layout reads as a
 #: miss instead of serving incompatible artifacts.
-_SCENARIO_SCHEMA = 1
+#: 2: simulate stage gained ``overlap``; fabric hashed by content minus the
+#:    cosmetic name, including the degraded-link fields.
+_SCENARIO_SCHEMA = 2
 
 
 def scenario_schema_version() -> int:
@@ -180,7 +182,7 @@ _STAGE_FIELDS: Dict[str, Tuple[str, ...]] = {
 }
 _STAGE_FIELDS["lower"] = _STAGE_FIELDS["synthesize"] + ("max_denominator",)
 _STAGE_FIELDS["validate"] = _STAGE_FIELDS["lower"]
-_STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers")
+_STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers", "overlap")
 
 _SUPPORTED_WORKLOADS = ("alltoall",)
 
@@ -215,8 +217,18 @@ class Scenario:
         Chunking granularity for path schedules (lower stage).
     buffers:
         Per-node buffer sizes (bytes) swept by the simulate stage.
+    overlap:
+        Concurrent copies of the collective sharing the fabric during the
+        simulate stage (the overlapping-collectives axis); results carry
+        per-collective completion times.  Part of the simulate stage key
+        only, so overlap variants share their synthesized schedule.
     name:
         Cosmetic label for reports; excluded from hashing.
+
+    The degraded-fabric axis has no field of its own: it lives on the fabric
+    spec (``"hpc:down=0~1"``, ``"hpc:scale=0~1:0.5"``), and since the fabric
+    is hashed by *content*, degradation flows into the simulate-stage cache
+    key automatically.
     """
 
     topology: Union[str, Topology]
@@ -233,6 +245,7 @@ class Scenario:
     decompose_ts: bool = False
     max_denominator: int = 64
     buffers: Tuple[float, ...] = ()
+    overlap: int = 1
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -241,6 +254,8 @@ class Scenario:
                              f"supported: {_SUPPORTED_WORKLOADS}")
         if self.forwarding not in ("auto", "host", "nic"):
             raise ValueError(f"forwarding must be auto/host/nic, got {self.forwarding!r}")
+        if self.overlap < 1:
+            raise ValueError(f"overlap must be >= 1, got {self.overlap}")
         self.buffers = tuple(float(b) for b in self.buffers)
         self.scheme_params = dict(self.scheme_params)
         self._topology_obj: Optional[Topology] = (
@@ -283,8 +298,12 @@ class Scenario:
         if fname == "topology":
             return ("topology", self.resolved_topology().canonical_hash())
         if fname == "fabric":
+            # Hash the fabric by content, minus the cosmetic name — so
+            # "hpc:scale=0~1:0.5" and an equivalently degrade()d FabricModel
+            # share keys, like spec-string vs. hand-built topologies do.
             fabric = self.resolved_fabric()
-            return ("fabric", tuple(sorted(asdict(fabric).items())))
+            payload = {k: v for k, v in asdict(fabric).items() if k != "name"}
+            return ("fabric", tuple(sorted(payload.items())))
         if fname == "forwarding":
             # Only the "auto" scheme branches on the forwarding model, and
             # "auto" forwarding resolves through the fabric — hash the
@@ -357,7 +376,7 @@ class Scenario:
 
 
 _FLOAT_FIELDS = ("host_bandwidth", "link_bandwidth", "path_diversity_threshold")
-_INT_FIELDS = ("num_steps", "max_disjoint_paths", "max_denominator")
+_INT_FIELDS = ("num_steps", "max_disjoint_paths", "max_denominator", "overlap")
 
 
 def _coerce_field(name: str, value: object) -> object:

@@ -11,7 +11,7 @@ an ``ok`` record.
 Record schema (one JSON object per line)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "key": "<scenario content digest>",
       "label": "hypercube:dim=3/mcf-extp",
       "status": "ok" | "error",
@@ -177,6 +177,17 @@ def metrics_from_plan(result: PlanResult) -> Dict[str, object]:
             str(int(r.buffer_bytes)): r.throughput for r in result.sim_results}
         metrics["completion_seconds"] = {
             str(int(r.buffer_bytes)): r.completion_time for r in result.sim_results}
+        # Simulator cost counters (vectorized-engine accounting): how many
+        # progressive-filling rounds and completion events the sweep's
+        # simulate stage burned, mirroring the LP assemble/solve timings.
+        metrics["sim_fill_rounds"] = int(sum(
+            int(r.meta.get("fill_rounds", 0)) for r in result.sim_results))
+        metrics["sim_events"] = int(sum(
+            int(r.meta.get("events", 0)) for r in result.sim_results))
+        if any("per_collective_seconds" in r.meta for r in result.sim_results):
+            metrics["overlap_completion_seconds"] = {
+                str(int(r.buffer_bytes)): list(r.per_collective_seconds)
+                for r in result.sim_results}
     return metrics
 
 
@@ -273,10 +284,12 @@ def run_sweep(scenarios: Sequence[Scenario], out_path: Optional[str] = None,
 
         # Only records that ran at least as far as this sweep asks for count
         # as complete: a synthesize-only record must not satisfy a simulate
-        # sweep (it has no simulation metrics to resume with).
+        # sweep (it has no simulation metrics to resume with).  Records from
+        # an older schema layout never resume (their keys are incomparable).
         needed = STAGES.index(through)
         done = {rec["key"]: rec for rec in load_results(out_path)
                 if rec.get("status") == "ok"
+                and rec.get("schema_version") == scenario_schema_version()
                 and rec.get("through") in STAGES
                 and STAGES.index(rec["through"]) >= needed}
 

@@ -1,11 +1,32 @@
-"""Direct-connect fabric simulator (the testbed substitute)."""
+"""Direct-connect fabric simulator (the testbed substitute).
 
-from .collective import CollectiveResult, run_link_collective, run_routed_collective, throughput_sweep
+All regimes share one vectorized, event-driven fluid core
+(:mod:`repro.simulator.engine`); :mod:`.flowsim`, :mod:`.stepsim` and
+:mod:`.collective` are thin front-ends that lower their schedules to the
+engine's flow IR.  :mod:`.reference` keeps the scalar implementation as a
+differential-testing oracle.
+"""
+
+from .collective import (
+    CollectiveResult,
+    run_link_collective,
+    run_routed_collective,
+    throughput_sweep,
+)
 from .costmodel import (
     alltoall_time_upper_bound,
     latency_bandwidth_time,
     steady_state_throughput,
     throughput_upper_bound_curve,
+)
+from .engine import (
+    EngineResult,
+    FlowProgram,
+    compile_flows,
+    engine_counters,
+    execute,
+    reset_engine_counters,
+    simulate_program,
 )
 from .events import Event, EventQueue
 from .fabric import (
@@ -16,8 +37,11 @@ from .fabric import (
     cerio_hpc_fabric,
     fabric_from_spec,
     ideal_fabric,
+    parse_link_scales,
+    parse_link_set,
 )
 from .flowsim import FlowSimResult, FluidFlow, simulate_flows
+from .reference import simulate_flows_reference
 from .stepsim import StepSimResult, simulate_link_schedule
 
 __all__ = [
@@ -29,6 +53,13 @@ __all__ = [
     "latency_bandwidth_time",
     "steady_state_throughput",
     "throughput_upper_bound_curve",
+    "EngineResult",
+    "FlowProgram",
+    "compile_flows",
+    "engine_counters",
+    "execute",
+    "reset_engine_counters",
+    "simulate_program",
     "Event",
     "EventQueue",
     "GBPS",
@@ -38,9 +69,12 @@ __all__ = [
     "cerio_hpc_fabric",
     "fabric_from_spec",
     "ideal_fabric",
+    "parse_link_scales",
+    "parse_link_set",
     "FlowSimResult",
     "FluidFlow",
     "simulate_flows",
+    "simulate_flows_reference",
     "StepSimResult",
     "simulate_link_schedule",
 ]

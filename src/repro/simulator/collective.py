@@ -2,9 +2,15 @@
 
 This is the substitute for the paper's hardware testbeds: given a schedule
 (link-based :class:`LinkSchedule` or path-based :class:`RoutedSchedule`), a
-fabric model and a buffer size, it validates the schedule, executes it on the
-appropriate simulator and reports the achieved throughput -- producing the
-same throughput-vs-buffer-size series as Fig. 3/4/5.
+fabric model and a buffer size, it validates the schedule, lowers it to the
+unified flow IR, executes it on the vectorized engine and reports the
+achieved throughput -- producing the same throughput-vs-buffer-size series as
+Fig. 3/4/5.
+
+The ``overlap`` axis runs several copies of the collective concurrently on
+the same fabric (one flow set per copy); results then carry per-collective
+completion times in ``meta["per_collective_seconds"]`` and the headline
+``completion_time`` is the last copy's finish.
 """
 
 from __future__ import annotations
@@ -14,8 +20,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..schedule.ir import LinkSchedule, RoutedSchedule
 from ..schedule.validate import validate_link_schedule, validate_routed_schedule
+from .engine import FluidFlow, simulate_program
 from .fabric import FabricModel
-from .flowsim import FluidFlow, simulate_flows
 from .stepsim import simulate_link_schedule
 
 __all__ = ["CollectiveResult", "run_link_collective", "run_routed_collective",
@@ -35,57 +41,89 @@ class CollectiveResult:
 
     @property
     def throughput(self) -> float:
-        """All-to-all throughput ``(N - 1) * m / T`` in bytes/second (§2.2)."""
+        """All-to-all throughput ``(N - 1) * m / T`` in bytes/second (§2.2).
+
+        With overlap, ``completion_time`` is the *last* copy's finish, so
+        this is the per-collective throughput under contention.
+        """
         if self.completion_time <= 0:
             return float("inf")
         return (self.num_nodes - 1) * self.shard_bytes / self.completion_time
+
+    @property
+    def per_collective_seconds(self) -> List[float]:
+        """Completion time of each overlapping copy (single entry without overlap)."""
+        times = self.meta.get("per_collective_seconds")
+        return list(times) if times else [self.completion_time]
 
 
 def run_link_collective(schedule: LinkSchedule, buffer_bytes: float,
                         fabric: Optional[FabricModel] = None,
                         validate: bool = True,
-                        num_channels: int = 1) -> CollectiveResult:
+                        num_channels: int = 1,
+                        overlap: int = 1) -> CollectiveResult:
     """Execute a link-based schedule for a total per-node buffer size."""
     if validate:
         validate_link_schedule(schedule)
     n = schedule.topology.num_nodes
     shard = buffer_bytes / n
     sim = simulate_link_schedule(schedule, shard_bytes=shard, fabric=fabric,
-                                 num_channels=num_channels)
+                                 num_channels=num_channels, overlap=overlap)
+    meta = {"step_times": sim.step_times, "num_steps": schedule.num_steps,
+            "fill_rounds": sim.fill_rounds, "events": sim.events_processed}
+    if overlap > 1:
+        # Steps are globally synchronized, so every copy ends with the last step.
+        meta["per_collective_seconds"] = [sim.total_time] * overlap
     return CollectiveResult(
         buffer_bytes=buffer_bytes,
         shard_bytes=shard,
         completion_time=sim.total_time,
         num_nodes=n,
         schedule_kind="link",
-        meta={"step_times": sim.step_times, "num_steps": schedule.num_steps},
+        meta=meta,
     )
 
 
 def run_routed_collective(schedule: RoutedSchedule, buffer_bytes: float,
                           fabric: Optional[FabricModel] = None,
-                          validate: bool = True) -> CollectiveResult:
+                          validate: bool = True,
+                          overlap: int = 1) -> CollectiveResult:
     """Execute a path-based schedule for a total per-node buffer size.
 
     Every chunk assignment becomes one fluid flow along its route; flows run
     concurrently under max-min fair sharing (cut-through fabric behaviour).
+    With ``overlap > 1`` each copy contributes its own flow set and completes
+    independently (the per-copy times land in the result's meta).
     """
     if validate:
         validate_routed_schedule(schedule)
+    if overlap < 1:
+        raise ValueError(f"overlap must be >= 1, got {overlap}")
     topo = schedule.topology
     n = topo.num_nodes
     shard = buffer_bytes / n
-    flows = [FluidFlow(path=a.route, size_bytes=a.chunk.bytes(shard),
-                       tag=(a.chunk.source, a.chunk.destination))
-             for a in schedule.assignments]
-    sim = simulate_flows(topo, flows, fabric=fabric)
+    flows: List[FluidFlow] = []
+    set_ids: List[int] = []
+    for copy in range(overlap):
+        for a in schedule.assignments:
+            flows.append(FluidFlow(path=a.route, size_bytes=a.chunk.bytes(shard),
+                                   tag=(copy, a.chunk.source, a.chunk.destination)))
+            set_ids.append(copy)
+    sim = simulate_program(topo, flows, fabric, set_ids=set_ids,
+                           set_names=tuple(f"copy{c}" for c in range(overlap)))
+    meta: Dict[str, object] = {
+        "num_flows": len(flows), "max_link_bytes": sim.max_link_bytes,
+        "fill_rounds": sim.fill_rounds, "events": sim.events_processed}
+    if overlap > 1:
+        meta["per_collective_seconds"] = [
+            sim.set_completion_times[f"copy{c}"] for c in range(overlap)]
     return CollectiveResult(
         buffer_bytes=buffer_bytes,
         shard_bytes=shard,
         completion_time=sim.completion_time,
         num_nodes=n,
         schedule_kind="routed",
-        meta={"num_flows": len(flows), "max_link_bytes": sim.max_link_bytes},
+        meta=meta,
     )
 
 
@@ -93,7 +131,8 @@ def throughput_sweep(schedule: Union[LinkSchedule, RoutedSchedule],
                      buffer_sizes: Sequence[float],
                      fabric: Optional[FabricModel] = None,
                      validate_first: bool = True,
-                     num_channels: int = 1) -> List[CollectiveResult]:
+                     num_channels: int = 1,
+                     overlap: int = 1) -> List[CollectiveResult]:
     """Run the schedule across a sweep of buffer sizes (the Fig. 3/4 x-axis).
 
     The schedule is validated once (on the first point) and then reused.
@@ -104,10 +143,12 @@ def throughput_sweep(schedule: Union[LinkSchedule, RoutedSchedule],
         if isinstance(schedule, LinkSchedule):
             results.append(run_link_collective(schedule, buf, fabric=fabric,
                                                validate=validate,
-                                               num_channels=num_channels))
+                                               num_channels=num_channels,
+                                               overlap=overlap))
         elif isinstance(schedule, RoutedSchedule):
             results.append(run_routed_collective(schedule, buf, fabric=fabric,
-                                                 validate=validate))
+                                                 validate=validate,
+                                                 overlap=overlap))
         else:
             raise TypeError(f"unsupported schedule type {type(schedule)!r}")
     return results

@@ -1,0 +1,382 @@
+"""Unified vectorized fluid simulation engine: one core for all regimes.
+
+Every simulation regime in :mod:`repro.simulator` — cut-through path
+schedules (:mod:`.flowsim`), stepped link schedules (:mod:`.stepsim`) and
+whole collectives (:mod:`.collective`) — lowers to the same flow IR and runs
+on this engine:
+
+1. **compile** — :func:`compile_flows` turns a flow set into a
+   :class:`FlowProgram`: flows, links, injection caps and forwarding caps
+   become sparse resource-incidence arrays (COO triplets plus per-resource
+   capacities, built once per schedule);
+2. **fill** — progressive filling (max-min fairness) runs as vectorized
+   numpy saturation rounds over those arrays: per round, one ``bincount``
+   yields every resource's unfrozen-user count, the minimum fair share
+   picks the bottleneck(s), and all their flows freeze at that rate —
+   instead of the O(resources x flows) interpreted loop per round;
+3. **execute** — :func:`execute` advances from flow completion to flow
+   completion through the :class:`~repro.simulator.events.EventQueue`
+   scheduler, re-filling incrementally over the surviving flows only.
+
+Max-min fair allocations are unique, so freezing *all* minimum-share
+resources per round is exactly equivalent to the classic one-bottleneck-
+per-iteration formulation (kept, interpreter-bound, in
+:mod:`.reference` for differential testing); the two implementations agree
+to float round-off.
+
+Flows carry a *flow-set id* so multiple collectives can share the fabric in
+one simulation (the overlap axis): :class:`EngineResult` reports a
+completion time per flow set alongside the overall one.  Degraded fabrics
+(per-link bandwidth scaling, link-down sets on
+:class:`~repro.simulator.fabric.FabricModel`) enter through the per-link
+capacities at compile time; a flow crossing a down link is a compile error.
+
+Engine-wide counters (fill rounds, completion events, simulations) are kept
+for the ``[stats]`` footer; read them with :func:`engine_counters`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import SIM_BYTES_EPS, SIM_EPS
+from ..topology.base import Edge, Topology
+from .events import EventQueue
+from .fabric import FabricModel
+
+__all__ = ["FluidFlow", "FlowProgram", "EngineResult", "compile_flows",
+           "execute", "simulate_program", "engine_counters",
+           "reset_engine_counters"]
+
+
+@dataclass
+class FluidFlow:
+    """One fluid flow: ``size_bytes`` to move along ``path`` (node sequence)."""
+
+    path: Tuple[int, ...]
+    size_bytes: float
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("flow path needs at least two nodes")
+        if self.size_bytes < 0:
+            raise ValueError("flow size must be non-negative")
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(zip(self.path[:-1], self.path[1:]))
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+# --------------------------------------------------------------------------- #
+# Engine-wide counters (surfaced in the CLI's [stats] footer)
+# --------------------------------------------------------------------------- #
+_counters = {"fill_rounds": 0, "events": 0, "simulations": 0}
+_counters_lock = threading.Lock()
+
+
+def engine_counters() -> Dict[str, int]:
+    """Cumulative simulator counters: fill rounds, completion events, runs."""
+    with _counters_lock:
+        return dict(_counters)
+
+
+def reset_engine_counters() -> None:
+    """Zero the cumulative counters (tests and benchmarks)."""
+    with _counters_lock:
+        for key in _counters:
+            _counters[key] = 0
+
+
+def _count(fill_rounds: int, events: int) -> None:
+    with _counters_lock:
+        _counters["fill_rounds"] += fill_rounds
+        _counters["events"] += events
+        _counters["simulations"] += 1
+
+
+# --------------------------------------------------------------------------- #
+# Flow IR
+# --------------------------------------------------------------------------- #
+@dataclass
+class FlowProgram:
+    """A compiled flow set: sizes, latencies and resource incidence.
+
+    ``inc_res``/``inc_flow`` are parallel COO arrays — entry ``k`` says flow
+    ``inc_flow[k]`` consumes resource ``inc_res[k]`` — and ``res_cap`` holds
+    every resource's capacity in bytes/second (links first, then optional
+    per-node injection and forwarding resources).  Built once per schedule;
+    :func:`execute` only masks completed flows between fills.
+    """
+
+    num_flows: int
+    sizes: np.ndarray                     # (F,) bytes
+    start_delays: np.ndarray              # (F,) seconds of start-up latency
+    set_ids: np.ndarray                   # (F,) flow-set (collective) index
+    set_names: Tuple[str, ...]            # flow-set index -> display name
+    res_cap: np.ndarray                   # (R,) bytes/second
+    inc_res: np.ndarray                   # (NNZ,) resource index
+    inc_flow: np.ndarray                  # (NNZ,) flow index
+    max_link_bytes: float = 0.0           # busiest link's total byte load
+    total_bytes: float = 0.0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def compile_flows(topology: Topology, flows: Sequence[FluidFlow],
+                  fabric: Optional[FabricModel] = None,
+                  set_ids: Optional[Sequence[int]] = None,
+                  set_names: Optional[Sequence[str]] = None,
+                  include_latency: bool = True,
+                  include_ejection: bool = False) -> FlowProgram:
+    """Lower a flow set to a :class:`FlowProgram`.
+
+    Resources mirror the scalar reference exactly: one per directed link
+    (capacity = ``cap * effective_link_bandwidth``), one per source node when
+    the fabric is injection-limited, one per intermediate node when it
+    defines a forwarding cap.  ``include_latency=False`` zeroes the per-flow
+    start delays (the step simulator accounts latency per step instead).
+    ``include_ejection=True`` additionally caps each flow's *destination*
+    node at the injection bandwidth — the store-and-forward regime, where
+    received bytes cross the host-NIC boundary too.
+    """
+    fabric = fabric or FabricModel()
+    n = len(flows)
+    down = set(fabric.down_links)
+    edges = topology.edges
+    edge_index = {e: i for i, e in enumerate(edges)}
+    num_links = len(edges)
+    num_nodes = topology.num_nodes
+
+    link_bw = fabric.link_bandwidths(edges)
+    link_cap = np.array(
+        [topology.capacity(u, v) * link_bw[(u, v)] for u, v in edges], dtype=float)
+    max_deg = topology.max_degree()
+    injection_capped = fabric.injection_limited(max_deg)
+    fwd_cap = fabric.forwarding_bandwidth
+
+    caps = [link_cap]
+    inj_base = num_links
+    if injection_capped:
+        caps.append(np.full(num_nodes, fabric.effective_injection(max_deg)))
+    fwd_base = num_links + (num_nodes if injection_capped else 0)
+    if fwd_cap is not None:
+        caps.append(np.full(num_nodes, float(fwd_cap)))
+    ej_base = fwd_base + (num_nodes if fwd_cap is not None else 0)
+    ejection_capped = include_ejection and injection_capped
+    if ejection_capped:
+        caps.append(np.full(num_nodes, fabric.effective_injection(max_deg)))
+    res_cap = np.concatenate(caps) if len(caps) > 1 else link_cap
+
+    inc_res: List[int] = []
+    inc_flow: List[int] = []
+    link_load = np.zeros(num_links)
+    for fid, flow in enumerate(flows):
+        for e in flow.edges:
+            if e in down:
+                raise ValueError(
+                    f"flow {fid} (path {flow.path}) crosses down link {e}; "
+                    "re-synthesize the schedule for the degraded fabric or "
+                    "drop the affected flows")
+            idx = edge_index.get(e)
+            if idx is None:
+                raise ValueError(f"flow {fid} uses non-existent link {e}")
+            inc_res.append(idx)
+            inc_flow.append(fid)
+            link_load[idx] += flow.size_bytes
+        if injection_capped:
+            inc_res.append(inj_base + flow.path[0])
+            inc_flow.append(fid)
+        if fwd_cap is not None:
+            for node in flow.path[1:-1]:
+                inc_res.append(fwd_base + node)
+                inc_flow.append(fid)
+        if ejection_capped:
+            inc_res.append(ej_base + flow.path[-1])
+            inc_flow.append(fid)
+
+    if include_latency:
+        delays = np.array([fabric.per_message_overhead + f.hops * fabric.per_hop_latency
+                           for f in flows], dtype=float)
+    else:
+        delays = np.zeros(n)
+    ids = (np.zeros(n, dtype=np.int64) if set_ids is None
+           else np.asarray(list(set_ids), dtype=np.int64))
+    if len(ids) != n:
+        raise ValueError(f"set_ids length {len(ids)} != number of flows {n}")
+    names = tuple(set_names) if set_names is not None else (
+        tuple(f"set{i}" for i in range(int(ids.max()) + 1)) if n else ())
+
+    return FlowProgram(
+        num_flows=n,
+        sizes=np.array([float(f.size_bytes) for f in flows]),
+        start_delays=delays,
+        set_ids=ids,
+        set_names=names,
+        res_cap=res_cap,
+        inc_res=np.asarray(inc_res, dtype=np.int64),
+        inc_flow=np.asarray(inc_flow, dtype=np.int64),
+        max_link_bytes=float(link_load.max()) if num_links and n else 0.0,
+        total_bytes=float(sum(f.size_bytes for f in flows)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized progressive filling
+# --------------------------------------------------------------------------- #
+def _fill_rates(program: FlowProgram, active: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Max-min fair rates for the active flows, as numpy saturation rounds.
+
+    Each round: count unfrozen users per resource (one ``bincount``), take
+    the smallest fair share, freeze every flow touching a bottleneck
+    resource at that share, and retire their capacity.  Returns the rate
+    vector and the number of rounds (the footer's ``fill_rounds`` counter).
+    """
+    num_res = len(program.res_cap)
+    num_flows = program.num_flows
+    rates = np.zeros(num_flows)
+    residual = program.res_cap.astype(float, copy=True)
+    unfrozen = active.copy()
+    # Compress the incidence to the surviving flows once per fill; rounds
+    # then touch only these entries.
+    sel = unfrozen[program.inc_flow]
+    ent_res = program.inc_res[sel]
+    ent_flow = program.inc_flow[sel]
+    ent_alive = np.ones(ent_res.shape, dtype=bool)
+    counts = np.bincount(ent_res, minlength=num_res)
+    share = np.empty(num_res)
+    rounds = 0
+    n_unfrozen = int(unfrozen.sum())
+    while n_unfrozen:
+        rounds += 1
+        used = counts > 0
+        if not used.any():
+            # No constraining resource (cannot happen for well-formed paths,
+            # every flow crosses at least one link): unbounded rate.
+            rates[unfrozen] = np.inf
+            break
+        share.fill(np.inf)
+        np.divide(residual, counts, out=share, where=used)
+        best = float(share.min())
+        # Freeze every resource tied for the minimum share.  Max-min fair
+        # allocations are unique, so an exactly-tied resource would yield the
+        # same share next round anyway; grouping within SIM_EPS only saves
+        # the round.
+        bottleneck = used & (share <= best + SIM_EPS + 1e-12 * abs(best))
+        freeze = np.zeros(num_flows, dtype=bool)
+        freeze[ent_flow[ent_alive & bottleneck[ent_res]]] = True
+        rates[freeze] = best
+        ent_frozen = ent_alive & freeze[ent_flow]
+        frozen_res = ent_res[ent_frozen]
+        np.subtract.at(residual, frozen_res, best)
+        np.maximum(residual, 0.0, out=residual)
+        counts -= np.bincount(frozen_res, minlength=num_res)
+        ent_alive &= ~ent_frozen
+        unfrozen &= ~freeze
+        n_unfrozen -= int(np.count_nonzero(freeze))
+    return rates, rounds
+
+
+# --------------------------------------------------------------------------- #
+# Event-driven execution
+# --------------------------------------------------------------------------- #
+@dataclass
+class EngineResult:
+    """Outcome of executing one :class:`FlowProgram`."""
+
+    completion_time: float
+    flow_completion_times: List[float]
+    set_completion_times: Dict[str, float]
+    fill_rounds: int
+    events_processed: int
+    max_link_bytes: float
+    total_bytes: float
+
+
+def execute(program: FlowProgram, max_events: int = 1_000_000) -> EngineResult:
+    """Run a compiled program to completion on the event scheduler.
+
+    Rates are re-filled only when a completion event fires, and only over
+    the surviving flows; zero-byte flows complete after their start-up
+    latency without entering the fill at all.
+    """
+    n = program.num_flows
+    if n == 0:
+        result = EngineResult(0.0, [], {}, 0, 0, 0.0, 0.0)
+        _count(0, 0)
+        return result
+
+    remaining = program.sizes.astype(float, copy=True)
+    active = remaining > SIM_EPS
+    completion = np.where(active, 0.0, program.start_delays)
+    queue = EventQueue()
+    state = {"rates": np.zeros(n), "last": 0.0, "fill_rounds": 0}
+
+    def refill_and_schedule() -> None:
+        if not active.any():
+            return
+        rates, rounds = _fill_rates(program, active)
+        state["rates"] = rates
+        state["fill_rounds"] += rounds
+        eligible = active & (rates > SIM_EPS)
+        if not eligible.any():
+            raise RuntimeError(
+                "fluid simulation stalled: active flows have zero rate "
+                "(a resource is fully saturated by completed flows?)")
+        state["last"] = queue.now
+        dt = float(np.min(remaining[eligible] / rates[eligible]))
+        queue.schedule(dt, on_completion)
+
+    def on_completion() -> None:
+        dt = queue.now - state["last"]
+        rates = state["rates"]
+        remaining[active] -= rates[active] * dt
+        done = active & (remaining <= SIM_BYTES_EPS)
+        remaining[done] = 0.0
+        completion[done] = queue.now + program.start_delays[done]
+        active[done] = False
+        refill_and_schedule()
+
+    refill_and_schedule()
+    try:
+        queue.run(max_events=max_events)
+    except RuntimeError as exc:
+        raise RuntimeError("fluid simulation did not converge") from exc
+
+    set_times: Dict[str, float] = {}
+    for idx, name in enumerate(program.set_names):
+        members = program.set_ids == idx
+        if members.any():
+            set_times[name] = float(completion[members].max())
+    result = EngineResult(
+        completion_time=float(completion.max()),
+        flow_completion_times=[float(t) for t in completion],
+        set_completion_times=set_times,
+        fill_rounds=state["fill_rounds"],
+        events_processed=queue.processed,
+        max_link_bytes=program.max_link_bytes,
+        total_bytes=program.total_bytes,
+    )
+    _count(result.fill_rounds, result.events_processed)
+    return result
+
+
+def simulate_program(topology: Topology, flows: Sequence[FluidFlow],
+                     fabric: Optional[FabricModel] = None,
+                     set_ids: Optional[Sequence[int]] = None,
+                     set_names: Optional[Sequence[str]] = None,
+                     include_latency: bool = True,
+                     include_ejection: bool = False,
+                     max_events: int = 1_000_000) -> EngineResult:
+    """Compile and execute in one call (the common front-end path)."""
+    program = compile_flows(topology, flows, fabric, set_ids=set_ids,
+                            set_names=set_names, include_latency=include_latency,
+                            include_ejection=include_ejection)
+    return execute(program, max_events=max_events)

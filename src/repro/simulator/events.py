@@ -1,8 +1,10 @@
-"""Minimal discrete-event engine.
+"""Discrete-event scheduler for the unified simulation engine.
 
-The fluid-flow simulator (:mod:`repro.simulator.flowsim`) advances time from
-flow-completion event to flow-completion event; this module provides the small
-priority-queue engine it (and any future packet-level extensions) builds on.
+The vectorized fluid core (:mod:`repro.simulator.engine`) advances time from
+flow-completion event to flow-completion event; this module provides the
+priority-queue scheduler it (and any future packet-level extensions) builds
+on.  The queue counts the events it has processed (``processed``) so the
+engine can report scheduler work alongside its fill-round counters.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ class EventQueue:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self.now: float = 0.0
+        self.processed: int = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from the current time."""
@@ -64,6 +67,7 @@ class EventQueue:
             if event.cancelled:
                 continue
             self.now = event.time
+            self.processed += 1
             event.callback()
             return True
         return False

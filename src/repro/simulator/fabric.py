@@ -14,11 +14,11 @@ All bandwidths are stored in bytes/second and latencies in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 __all__ = ["FabricModel", "GBPS", "GIBI", "cerio_hpc_fabric", "a100_ml_fabric",
-           "ideal_fabric", "fabric_from_spec"]
+           "ideal_fabric", "fabric_from_spec", "parse_link_set", "parse_link_scales"]
 
 GBPS = 1e9 / 8.0          # 1 Gbps in bytes/second
 GIBI = 2.0 ** 30
@@ -48,6 +48,16 @@ class FabricModel:
         Per-hop propagation/switching latency for cut-through routing.
     per_message_overhead:
         Fixed software/NIC overhead per message or chunk transfer.
+    link_scale:
+        Degraded-fabric axis: per-directed-link bandwidth multipliers as a
+        sorted tuple of ``((u, v), factor)`` pairs (hashable, so scenario
+        cache keys cover degradation for free).  Links not listed run at
+        full ``link_bandwidth``.
+    down_links:
+        Degraded-fabric axis: directed links that are hard-down.  A schedule
+        whose flows cross a down link fails to simulate (the error is
+        recorded per scenario by the sweep layer), which is exactly the
+        Fig. 9 "disabled links" experiment run *without* re-synthesis.
     """
 
     link_bandwidth: float = 25.0 * GBPS
@@ -58,6 +68,66 @@ class FabricModel:
     per_hop_latency: float = 1e-6
     per_message_overhead: float = 2e-6
     name: str = "fabric"
+    link_scale: Tuple[Tuple[Tuple[int, int], float], ...] = ()
+    down_links: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Canonicalize the degraded-link fields so two fabrics describing the
+        # same degradation hash identically in scenario keys.
+        object.__setattr__(self, "link_scale",
+                           tuple(sorted(((int(u), int(v)), float(s))
+                                        for (u, v), s in self.link_scale)))
+        object.__setattr__(self, "down_links",
+                           tuple(sorted((int(u), int(v)) for u, v in self.down_links)))
+        for (u, v), factor in self.link_scale:
+            if not 0.0 < factor:
+                raise ValueError(f"link_scale factor for ({u},{v}) must be positive, "
+                                 f"got {factor}")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any link is scaled down or hard-down."""
+        return bool(self.link_scale or self.down_links)
+
+    def link_scale_map(self) -> Dict[Tuple[int, int], float]:
+        """Per-directed-link bandwidth multipliers as a dict."""
+        return {edge: factor for edge, factor in self.link_scale}
+
+    def link_bandwidths(self, edges) -> Dict[Tuple[int, int], float]:
+        """Effective bandwidth of each given directed link (0.0 if down).
+
+        Builds the scale map once, so per-edge lookups stay O(1) — the
+        engine's compile path calls this with every topology edge.
+        """
+        scales = self.link_scale_map()
+        down = set(self.down_links)
+        return {e: (0.0 if e in down else self.link_bandwidth * scales.get(e, 1.0))
+                for e in edges}
+
+    def effective_link_bandwidth(self, u: int, v: int) -> float:
+        """Bandwidth of directed link ``(u, v)`` after degradation (0 if down)."""
+        return self.link_bandwidths(((u, v),))[(u, v)]
+
+    def degrade(self, link_scale: Optional[Dict[Tuple[int, int], float]] = None,
+                down_links: Optional[Tuple[Tuple[int, int], ...]] = None,
+                symmetric: bool = False) -> "FabricModel":
+        """A copy of this fabric with additional degradation applied.
+
+        ``symmetric=True`` mirrors every ``(u, v)`` entry onto ``(v, u)``,
+        matching the bidirectional physical links of the topologies here.
+        """
+        scales = dict(self.link_scale_map())
+        for (u, v), factor in (link_scale or {}).items():
+            scales[(u, v)] = factor
+            if symmetric:
+                scales[(v, u)] = factor
+        down = set(self.down_links)
+        for (u, v) in down_links or ():
+            down.add((u, v))
+            if symmetric:
+                down.add((v, u))
+        return replace(self, link_scale=tuple(scales.items()),
+                       down_links=tuple(down))
 
     def effective_injection(self, degree: int) -> float:
         """Injection bandwidth cap, defaulting to degree * link bandwidth."""
@@ -101,6 +171,50 @@ def a100_ml_fabric(link_gbps: float = 25.0, injection_gbps: Optional[float] = No
     )
 
 
+def parse_link_set(value: str) -> Tuple[Tuple[int, int], ...]:
+    """Parse a ``u-v|u-v|...`` link list (``u~v`` adds both directions).
+
+    Used by the ``down=`` fabric-spec parameter, e.g. ``"hpc:down=0~1"``
+    takes the physical link between nodes 0 and 1 out of service.
+    """
+    links = []
+    for token in value.split("|"):
+        token = token.strip()
+        if not token:
+            continue
+        symmetric = "~" in token
+        sep = "~" if symmetric else "-"
+        parts = token.split(sep)
+        if len(parts) != 2:
+            raise ValueError(f"malformed link token {token!r} (expected u-v or u~v)")
+        u, v = int(parts[0]), int(parts[1])
+        links.append((u, v))
+        if symmetric:
+            links.append((v, u))
+    return tuple(links)
+
+
+def parse_link_scales(value: str) -> Tuple[Tuple[Tuple[int, int], float], ...]:
+    """Parse a ``u-v:factor|...`` scaled-link list (``u~v:factor`` = both directions).
+
+    Used by the ``scale=`` fabric-spec parameter, e.g.
+    ``"hpc:scale=0~1:0.5"`` halves the bandwidth of the physical link
+    between nodes 0 and 1.
+    """
+    scales = []
+    for token in value.split("|"):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" not in token:
+            raise ValueError(f"malformed scale token {token!r} (expected u-v:factor)")
+        link_part, factor_part = token.rsplit(":", 1)
+        factor = float(factor_part)
+        for edge in parse_link_set(link_part):
+            scales.append((edge, factor))
+    return tuple(scales)
+
+
 def fabric_from_spec(spec) -> FabricModel:
     """Resolve a fabric spec to a :class:`FabricModel`.
 
@@ -111,6 +225,14 @@ def fabric_from_spec(spec) -> FabricModel:
     ``"ml:link_gbps=50"``.  This is the fabric analogue of
     :func:`repro.topology.from_spec` and is what the declarative
     :class:`~repro.experiments.Scenario` layer and the CLI parse.
+
+    Two parameters open the degraded-fabric axis (values use ``|`` between
+    links because ``,`` separates spec parameters):
+
+    * ``down=u-v|...`` — directed links out of service (``u~v`` downs both
+      directions of the physical link), e.g. ``"hpc:down=0~1"``;
+    * ``scale=u-v:f|...`` — per-link bandwidth multipliers,
+      e.g. ``"hpc:scale=0~1:0.25,forwarding_gbps=100"``.
     """
     if isinstance(spec, FabricModel):
         return spec
@@ -119,11 +241,17 @@ def fabric_from_spec(spec) -> FabricModel:
     from ..topology.spec import parse_spec
 
     name, raw = parse_spec(spec)
+    down = parse_link_set(raw.pop("down", ""))
+    scale = parse_link_scales(raw.pop("scale", ""))
     params = {key: float(value) for key, value in raw.items()}
     makers = {"hpc": cerio_hpc_fabric, "ml": a100_ml_fabric, "ideal": ideal_fabric}
     if name not in makers:
         raise ValueError(f"unknown fabric {name!r} (expected one of {sorted(makers)})")
-    return makers[name](**params)
+    fabric = makers[name](**params)
+    if down or scale:
+        fabric = replace(fabric, down_links=down, link_scale=scale,
+                         name=f"{fabric.name}-degraded")
+    return fabric
 
 
 def ideal_fabric(link_bandwidth: float = 1.0) -> FabricModel:

@@ -3,14 +3,14 @@
 Path-based schedules (MCF-extP, pMCF, SSSP, DOR, ...) launch all chunk flows
 simultaneously; the fabric's cut-through routing lets each flow stream along
 its full path at a rate limited by the most contended resource it crosses.
-This simulator models that regime as a fluid system:
+This module models that regime as a fluid system:
 
 * every flow has a fixed path, a remaining byte count, and a rate;
 * rates are assigned by progressive filling (max-min fairness) subject to
   per-link capacities, per-node injection caps and per-node forwarding caps;
-* the simulation advances from flow-completion to flow-completion, re-running
-  progressive filling over the surviving flows (standard fluid approximation
-  of long-lived TCP/RDMA flows sharing a network);
+* the simulation advances from flow-completion to flow-completion, re-filling
+  over the surviving flows (standard fluid approximation of long-lived
+  TCP/RDMA flows sharing a network);
 * flow start incurs a latency of ``per_message_overhead + hops * per_hop_latency``.
 
 The completion time of the last flow is the all-to-all time.  For an MCF
@@ -18,41 +18,23 @@ schedule whose link loads are balanced this converges to
 ``max-link-load / bandwidth`` plus latency terms, matching the analytic model,
 while unbalanced baselines (SSSP, native) finish later because their most
 loaded link drains last -- which is exactly the effect Fig. 4/5 measures.
+
+Since the unified-engine refactor this module is a thin front-end: it lowers
+the flow set to the shared flow IR and runs it on the vectorized core in
+:mod:`repro.simulator.engine` (the original scalar implementation survives in
+:mod:`repro.simulator.reference` for differential testing).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..topology.base import Edge, Topology
-from ..constants import SIM_EPS
+from ..topology.base import Topology
+from .engine import FluidFlow, simulate_program
 from .fabric import FabricModel
 
 __all__ = ["FluidFlow", "FlowSimResult", "simulate_flows"]
-
-
-@dataclass
-class FluidFlow:
-    """One fluid flow: ``size_bytes`` to move along ``path`` (node sequence)."""
-
-    path: Tuple[int, ...]
-    size_bytes: float
-    tag: object = None
-
-    def __post_init__(self) -> None:
-        if len(self.path) < 2:
-            raise ValueError("flow path needs at least two nodes")
-        if self.size_bytes < 0:
-            raise ValueError("flow size must be non-negative")
-
-    @property
-    def edges(self) -> Tuple[Edge, ...]:
-        return tuple(zip(self.path[:-1], self.path[1:]))
-
-    @property
-    def hops(self) -> int:
-        return len(self.path) - 1
 
 
 @dataclass
@@ -63,83 +45,13 @@ class FlowSimResult:
     flow_completion_times: List[float]
     max_link_bytes: float
     total_bytes: float
+    fill_rounds: int = 0
+    events_processed: int = 0
 
     @property
     def last_flow_index(self) -> int:
         return max(range(len(self.flow_completion_times)),
                    key=lambda i: self.flow_completion_times[i])
-
-
-def _max_min_rates(flows: Sequence[FluidFlow], active: List[int],
-                   remaining: List[float], topology: Topology,
-                   fabric: FabricModel) -> Dict[int, float]:
-    """Progressive-filling max-min fair rate allocation for the active flows.
-
-    Resources: directed links (capacity = cap * link_bandwidth), per-node
-    injection (at the flow's source) and per-node forwarding (bytes relayed
-    through intermediate nodes), when the fabric defines those caps.
-    """
-    link_cap: Dict[Edge, float] = {e: topology.capacity(*e) * fabric.link_bandwidth
-                                   for e in topology.edges}
-    max_deg = topology.max_degree()
-    inj_cap = fabric.effective_injection(max_deg)
-    fwd_cap = fabric.forwarding_bandwidth
-
-    # resource id -> capacity, and flow -> resources used.
-    resources: Dict[object, float] = {}
-    users: Dict[object, List[int]] = {}
-    flow_resources: Dict[int, List[object]] = {}
-
-    def add_use(res: object, cap: float, fid: int) -> None:
-        if res not in resources:
-            resources[res] = cap
-            users[res] = []
-        users[res].append(fid)
-        flow_resources[fid].append(res)
-
-    for fid in active:
-        flow = flows[fid]
-        flow_resources[fid] = []
-        for e in flow.edges:
-            add_use(("link", e), link_cap[e], fid)
-        if fabric.injection_limited(max_deg):
-            add_use(("inject", flow.path[0]), inj_cap, fid)
-        if fwd_cap is not None:
-            for node in flow.path[1:-1]:
-                add_use(("forward", node), fwd_cap, fid)
-
-    rates: Dict[int, float] = {fid: 0.0 for fid in active}
-    frozen: Dict[int, bool] = {fid: False for fid in active}
-    residual = dict(resources)
-    unfrozen = set(active)
-
-    while unfrozen:
-        # Bottleneck resource: smallest fair share among resources with unfrozen users.
-        best_share = None
-        best_res = None
-        for res, cap in residual.items():
-            count = sum(1 for fid in users[res] if not frozen[fid])
-            if count == 0:
-                continue
-            share = cap / count
-            if best_share is None or share < best_share - SIM_EPS:
-                best_share = share
-                best_res = res
-        if best_res is None:
-            # No constraining resource (e.g. zero-size flows); give the rest
-            # an effectively unbounded rate.
-            for fid in unfrozen:
-                rates[fid] = float("inf")
-            break
-        for fid in list(users[best_res]):
-            if frozen[fid]:
-                continue
-            rates[fid] += best_share
-            frozen[fid] = True
-            unfrozen.discard(fid)
-            for res in flow_resources[fid]:
-                residual[res] = max(residual[res] - best_share, 0.0)
-    return rates
 
 
 def simulate_flows(topology: Topology, flows: Sequence[FluidFlow],
@@ -150,48 +62,14 @@ def simulate_flows(topology: Topology, flows: Sequence[FluidFlow],
     Returns per-flow completion times and the overall completion time
     (including start-up latencies).
     """
-    fabric = fabric or FabricModel()
-    n = len(flows)
-    if n == 0:
+    if not flows:
         return FlowSimResult(0.0, [], 0.0, 0.0)
-
-    start_delay = [fabric.per_message_overhead + f.hops * fabric.per_hop_latency
-                   for f in flows]
-    remaining = [float(f.size_bytes) for f in flows]
-    completion = [0.0] * n
-    active = [i for i in range(n) if remaining[i] > SIM_EPS]
-    # Zero-byte flows complete after their latency alone.
-    for i in range(n):
-        if remaining[i] <= SIM_EPS:
-            completion[i] = start_delay[i]
-
-    now = 0.0
-    rounds = 0
-    while active:
-        rounds += 1
-        if rounds > max_rounds:
-            raise RuntimeError("fluid simulation did not converge")
-        rates = _max_min_rates(flows, active, remaining, topology, fabric)
-        # Time until the next flow finishes at current rates.
-        dt = min(remaining[i] / rates[i] for i in active if rates[i] > SIM_EPS)
-        now += dt
-        still_active = []
-        for i in active:
-            remaining[i] -= rates[i] * dt
-            if remaining[i] <= 1e-6:
-                remaining[i] = 0.0
-                completion[i] = now + start_delay[i]
-            else:
-                still_active.append(i)
-        active = still_active
-
-    link_bytes: Dict[Edge, float] = {}
-    for f in flows:
-        for e in f.edges:
-            link_bytes[e] = link_bytes.get(e, 0.0) + f.size_bytes
+    result = simulate_program(topology, flows, fabric, max_events=max_rounds)
     return FlowSimResult(
-        completion_time=max(completion),
-        flow_completion_times=completion,
-        max_link_bytes=max(link_bytes.values(), default=0.0),
-        total_bytes=sum(f.size_bytes for f in flows),
+        completion_time=result.completion_time,
+        flow_completion_times=result.flow_completion_times,
+        max_link_bytes=result.max_link_bytes,
+        total_bytes=result.total_bytes,
+        fill_rounds=result.fill_rounds,
+        events_processed=result.events_processed,
     )

@@ -5,22 +5,29 @@ communication steps: at each step every rank posts its sends and receives for
 that step, all transfers proceed concurrently, and a global synchronization
 closes the step (the paper's oneCCL/MSCCL lowering behaves this way, §4).
 
-The time of a step is governed by its busiest resource:
+Each step is lowered to the unified flow IR — one single-hop fluid flow per
+loaded link, carrying that link's aggregate bytes — and executed on the
+vectorized engine (:mod:`repro.simulator.engine`), so link/injection caps and
+degraded fabrics are accounted exactly like the cut-through regime:
 
-    step_time = per_step_latency
-              + max_over_links( bytes_on_link / link_bandwidth )
-              + max_over_nodes( injected_bytes / injection_bandwidth )   [if capped]
+    step_time = per_step_latency + per_message_overhead / num_channels
+              + fluid completion of the step's link flows
 
-and the collective time is the sum over steps.  Throughput is
-``(N - 1) * shard_bytes / total_time``.
+and the collective time is the sum over steps.  When the fabric is not
+injection-limited, the fluid completion is exactly
+``max_over_links(bytes / link_bandwidth)`` — the classic closed form.  When
+host injection *is* the bottleneck, both the send side (bytes leaving a
+node) and the receive side (bytes arriving) are capped as shared fluid
+resources.  Throughput is ``(N - 1) * shard_bytes / total_time``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..schedule.ir import LinkSchedule
+from .engine import FluidFlow, simulate_program
 from .fabric import FabricModel
 
 __all__ = ["StepSimResult", "simulate_link_schedule"]
@@ -35,6 +42,8 @@ class StepSimResult:
     shard_bytes: float
     num_nodes: int
     max_link_bytes_per_step: List[float] = field(default_factory=list)
+    fill_rounds: int = 0
+    events_processed: int = 0
 
     @property
     def algorithm_bandwidth(self) -> float:
@@ -46,7 +55,8 @@ class StepSimResult:
 
 def simulate_link_schedule(schedule: LinkSchedule, shard_bytes: float,
                            fabric: Optional[FabricModel] = None,
-                           num_channels: int = 1) -> StepSimResult:
+                           num_channels: int = 1,
+                           overlap: int = 1) -> StepSimResult:
     """Execute a time-stepped link schedule on the store-and-forward model.
 
     Parameters
@@ -57,41 +67,44 @@ def simulate_link_schedule(schedule: LinkSchedule, shard_bytes: float,
         Parallel channels (schedule copies on disjoint chunk halves); modelled
         as reducing the per-message overhead share per byte but not the
         bandwidth (channels share the same links).
+    overlap:
+        Concurrent copies of the collective sharing the fabric.  Steps stay
+        globally synchronized, so every copy's link load lands in the same
+        step's fluid system; all copies finish together at ``total_time``.
     """
     fabric = fabric or FabricModel(nic_forwarding=False)
     topo = schedule.topology
-    max_deg = topo.max_degree()
-    injection_capped = fabric.injection_limited(max_deg)
-    inj_bw = fabric.effective_injection(max_deg)
+    if overlap < 1:
+        raise ValueError(f"overlap must be >= 1, got {overlap}")
 
     step_times: List[float] = []
     max_link_bytes: List[float] = []
+    fill_rounds = 0
+    events = 0
     for step in range(1, schedule.num_steps + 1):
         link_bytes = schedule.link_bytes(step, shard_bytes)
         if not link_bytes:
             step_times.append(0.0)
             max_link_bytes.append(0.0)
             continue
-        # Per-link serialization time.
-        link_time = 0.0
-        for e, nbytes in link_bytes.items():
-            bw = topo.capacity(*e) * fabric.link_bandwidth
-            link_time = max(link_time, nbytes / bw)
-        # Optional host injection bottleneck: all bytes a node sources this
-        # step (i.e. that leave the node) must cross the host-NIC boundary.
-        node_time = 0.0
-        if injection_capped:
-            out_bytes: Dict[int, float] = {}
-            in_bytes: Dict[int, float] = {}
+        # One single-hop flow per (copy, loaded link); forwarding caps do not
+        # apply to single-hop transfers, so only link/injection/ejection
+        # resources constrain the step.
+        flows = []
+        set_ids = []
+        for copy in range(overlap):
             for (u, v), nbytes in link_bytes.items():
-                out_bytes[u] = out_bytes.get(u, 0.0) + nbytes
-                in_bytes[v] = in_bytes.get(v, 0.0) + nbytes
-            worst = max(max(out_bytes.values(), default=0.0),
-                        max(in_bytes.values(), default=0.0))
-            node_time = worst / inj_bw
+                flows.append(FluidFlow(path=(u, v), size_bytes=nbytes,
+                                       tag=(copy, u, v)))
+                set_ids.append(copy)
+        sim = simulate_program(topo, flows, fabric, set_ids=set_ids,
+                               set_names=tuple(f"copy{c}" for c in range(overlap)),
+                               include_latency=False, include_ejection=True)
+        fill_rounds += sim.fill_rounds
+        events += sim.events_processed
         per_message = fabric.per_message_overhead / max(num_channels, 1)
-        step_times.append(fabric.per_step_latency + per_message + max(link_time, node_time))
-        max_link_bytes.append(max(link_bytes.values()))
+        step_times.append(fabric.per_step_latency + per_message + sim.completion_time)
+        max_link_bytes.append(max(link_bytes.values()) * overlap)
 
     return StepSimResult(
         total_time=sum(step_times),
@@ -99,4 +112,6 @@ def simulate_link_schedule(schedule: LinkSchedule, shard_bytes: float,
         shard_bytes=shard_bytes,
         num_nodes=topo.num_nodes,
         max_link_bytes_per_step=max_link_bytes,
+        fill_rounds=fill_rounds,
+        events_processed=events,
     )

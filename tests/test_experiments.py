@@ -21,6 +21,7 @@ from repro.experiments import (
     reset_plan_cache,
     run_scenarios,
     run_sweep,
+    scenario_schema_version,
     sweep_stats,
     write_csv,
 )
@@ -227,7 +228,7 @@ class TestRunSweep:
         records = load_results(out)
         assert len(records) == 4
         for rec in records:
-            assert rec["schema_version"] == 1
+            assert rec["schema_version"] == scenario_schema_version()
             assert rec["status"] == "ok"
             assert len(rec["key"]) == 64
             assert rec["metrics"]["concurrent_flow"] > 0

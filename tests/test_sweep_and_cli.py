@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis import available_schemes, compare_schemes, run_scheme
 from repro.cli import build_parser, build_topology, main
+from repro.experiments import scenario_schema_version
 
 
 class TestSchemeRegistry:
@@ -141,7 +142,8 @@ class TestSweepCLI:
         assert "lp-cache:" in captured.err and "solve" in captured.err
         records = [json.loads(line) for line in open(out)]
         assert len(records) == 4
-        assert all(r["status"] == "ok" and r["schema_version"] == 1 for r in records)
+        assert all(r["status"] == "ok" and r["schema_version"] == scenario_schema_version()
+                   for r in records)
         assert open(csv_path).readline().startswith("key,label,status")
 
     def test_sweep_resume_skips_completed(self, tmp_path, capsys):
