@@ -1,0 +1,105 @@
+"""Sweep executor benchmark: work-stealing worker processes vs. in-process.
+
+Runs the same scenario grid — distinct ``rrg:d=3,n=10`` instances (one per
+seed, so no stage artifacts are shared and the comparison measures raw
+process parallelism, not cache luck) — once through the serial in-process
+sweep (:func:`repro.experiments.run_sweep`) and once through the
+work-stealing multiprocess executor
+(:func:`repro.experiments.run_sweep_workers` with 2 workers).
+
+Asserted acceptance gates:
+
+* both paths report identical per-scenario metrics (the executor's reason to
+  exist is throughput, not different answers);
+* on machines with >= 2 usable CPUs, 2 workers complete the grid at least
+  1.6x faster than the serial path.  Single-CPU machines (some CI sandboxes)
+  still run the benchmark and record timings, but skip the scaling assert —
+  there is no parallel speedup to be had on one core.
+
+Machine-readable output lands in ``results/BENCH_sweep.json`` (same schema
+as ``BENCH_runtime.json``; ``objective`` is the deterministic sum of
+concurrent-flow values across the grid, so the perf gate also catches
+semantic drift).  The CI sweep-parallel job uploads it and gates it against
+``benchmarks/baseline_sweep.json`` via ``check_regression.py``.
+"""
+
+import os
+import time
+
+from repro.analysis import format_table
+from repro.experiments import Scenario, run_sweep, run_sweep_workers
+
+MIN_PARALLEL_SPEEDUP = 1.6
+WORKERS = 2
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _grid(scale: str):
+    """Distinct random-regular instances: no shared stage keys by design."""
+    seeds = range(16 if scale == "paper" else 8)
+    return [Scenario(topology=f"rrg:d=3,n=10,seed={seed}", scheme="mcf-extp",
+                     fabric="hpc", buffers=[2 ** 20], max_denominator=16)
+            for seed in seeds]
+
+
+def _objective(results) -> float:
+    assert all(r.status == "ok" for r in results)
+    return sum(float(r.metrics["concurrent_flow"]) for r in results)
+
+
+def test_sweep_worker_speedup(record, record_json, scale):
+    """Distinct-topology grid: 2 worker processes >= 1.6x serial, same metrics."""
+    scenarios = _grid(scale)
+
+    start = time.perf_counter()
+    serial = run_sweep(scenarios)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel, stats = run_sweep_workers(scenarios, workers=WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    # Differential gate: identical deterministic metrics, scenario by scenario.
+    for a, b in zip(serial, parallel):
+        assert a.key == b.key
+        assert a.metrics == b.metrics
+
+    speedup = serial_seconds / parallel_seconds
+    objective = _objective(serial)
+    assert abs(objective - _objective(parallel)) <= 1e-12
+
+    series = {
+        "sweep": {
+            "1": {
+                "sweep_seconds": serial_seconds,
+                "scenarios_per_sec": len(scenarios) / serial_seconds,
+                "objective": objective,
+            },
+            str(WORKERS): {
+                "sweep_seconds": parallel_seconds,
+                "scenarios_per_sec": stats.scenarios_per_sec,
+                "steals": stats.steals,
+                "objective": objective,
+            },
+        },
+    }
+    record_json("sweep", series)
+    record("sweep", format_table(
+        ["executor", "sweep (s)", "scen/s", "speedup"],
+        [["in-process (serial)", serial_seconds,
+          len(scenarios) / serial_seconds, 1.0],
+         [f"{WORKERS} worker processes", parallel_seconds,
+          stats.scenarios_per_sec, speedup]],
+        title=f"Sweep executor: {len(scenarios)} distinct rrg:d=3,n=10 "
+              f"scenarios ({_usable_cpus()} usable CPU(s))"))
+
+    if _usable_cpus() >= WORKERS:
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"{WORKERS} workers only {speedup:.2f}x faster than serial "
+            f"(gate: {MIN_PARALLEL_SPEEDUP}x)")

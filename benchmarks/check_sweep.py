@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Validate a sweep JSONL file against the record schema (CI sweep-smoke gate).
 
-Usage: python benchmarks/check_sweep.py results.jsonl [--expect N] [--require-sim]
+Usage: python benchmarks/check_sweep.py results.jsonl [--expect N]
+       [--require-sim] [--compare OTHER]
 
 Checks every line parses, carries the mandatory record fields with the right
 shapes (64-hex key, current schema_version, ok/error status, numeric metrics
@@ -9,8 +10,13 @@ and timings), and — with ``--expect`` — that exactly N records exist and all
 ``ok``.  ``--require-sim`` (the CI sim-smoke gate) additionally requires each
 ok record to carry the simulator cost counters (``sim_fill_rounds``,
 ``sim_events``) and, for scenarios with ``overlap > 1``, per-collective
-completion times with exactly ``overlap`` entries per buffer point.  Exit
-code 0 on success, 1 with a per-line report otherwise.
+completion times with exactly ``overlap`` entries per buffer point.
+``--compare OTHER`` (the CI sweep-parallel gate) requires the two files to be
+canonically identical: records sorted by scenario hash, the volatile
+execution-accounting sections (``timings``, ``engine``, ``stage_cache`` —
+wall clock and cache luck) dropped, everything else equal byte for byte —
+how a multiprocess ``--workers`` sweep is checked against the serial run.
+Exit code 0 on success, 1 with a per-line report otherwise.
 
 The record schema is documented in :mod:`repro.experiments.sweep`.
 """
@@ -29,6 +35,43 @@ REQUIRED_FIELDS = ("schema_version", "key", "label", "status", "through",
 #: Mirrors repro.experiments.scenario_schema_version() without importing the
 #: package (this script runs without PYTHONPATH=src in CI).
 SCHEMA_VERSION = 2
+
+#: Mirrors repro.experiments.executor.VOLATILE_RECORD_FIELDS: execution
+#: accounting (wall clock, cache luck) that legitimately differs between a
+#: serial and a multiprocess run of the same grid.
+VOLATILE_RECORD_FIELDS = ("timings", "engine", "stage_cache")
+
+
+def canonical_records(path: str) -> List[str]:
+    """Records of a sweep JSONL, volatile fields dropped, sorted by hash."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line; the schema pass reports it
+            for name in VOLATILE_RECORD_FIELDS:
+                rec.pop(name, None)
+            records.append(rec)
+    records.sort(key=lambda r: str(r.get("key", "")))
+    return [json.dumps(rec, sort_keys=True) for rec in records]
+
+
+def compare_canonical(path_a: str, path_b: str, errors: List[str]) -> None:
+    """The --compare gate: canonical equality of two sweep JSONL files."""
+    a, b = canonical_records(path_a), canonical_records(path_b)
+    if len(a) != len(b):
+        errors.append(f"--compare: {path_a} has {len(a)} record(s), "
+                      f"{path_b} has {len(b)}")
+    for i, (left, right) in enumerate(zip(a, b), start=1):
+        if left != right:
+            errors.append(f"--compare: canonical record {i} differs:\n"
+                          f"  {path_a}: {left}\n  {path_b}: {right}")
+            return  # first divergence is enough; the rest is usually noise
 
 
 def check_record(index: int, line: str, errors: List[str]) -> dict:
@@ -96,6 +139,9 @@ def main(argv=None) -> int:
     parser.add_argument("--require-sim", action="store_true",
                         help="require simulator counters (and per-collective "
                              "times for overlap scenarios) in every ok record")
+    parser.add_argument("--compare", default=None, metavar="OTHER",
+                        help="require canonical equality with another sweep "
+                             "JSONL (volatile fields dropped, hash-sorted)")
     args = parser.parse_args(argv)
 
     errors: List[str] = []
@@ -109,6 +155,9 @@ def main(argv=None) -> int:
             if args.require_sim:
                 check_sim_metrics(index, rec, errors)
             records.append(rec)
+
+    if args.compare is not None:
+        compare_canonical(args.jsonl, args.compare, errors)
 
     statuses = [r.get("status") for r in records]
     if args.expect is not None:

@@ -16,7 +16,8 @@ __all__ = ["format_table", "format_series", "format_throughput_sweep",
 def format_engine_footer(engine_stats: Mapping[str, object],
                          stage_stats: Mapping[str, object],
                          extra: str = "",
-                         sim_stats: Optional[Mapping[str, object]] = None) -> str:
+                         sim_stats: Optional[Mapping[str, object]] = None,
+                         executor_stats: Optional[Mapping[str, object]] = None) -> str:
     """One-line LP/stage-cache/simulator accounting footer.
 
     The single source of the ``[stats] ...`` line printed (to stderr) by
@@ -28,6 +29,10 @@ def format_engine_footer(engine_stats: Mapping[str, object],
     ``sim_stats`` is :func:`repro.simulator.engine_counters` (fill rounds
     and completion events processed by the fluid engine), so sweep/report
     runs expose simulation cost the same way they expose LP cost.
+    ``executor_stats`` is the ``to_dict()`` of an
+    :class:`~repro.experiments.executor.ExecutorStats` — multiprocess sweep
+    accounting (per-worker completed counts, steals, shared-artifact
+    hits/misses, scenarios/sec), appended as an ``exec:`` section.
     """
     line = (f"[stats] lp-cache: {engine_stats['hits']} hits / "
             f"{engine_stats['misses']} misses "
@@ -38,6 +43,14 @@ def format_engine_footer(engine_stats: Mapping[str, object],
     if sim_stats is not None:
         line += (f"; sim: {sim_stats['fill_rounds']} fill rounds / "
                  f"{sim_stats['events']} events")
+    if executor_stats is not None:
+        per_worker = "/".join(str(c) for c in executor_stats.get("completed", []))
+        line += (f"; exec: {executor_stats.get('workers', 0)} workers "
+                 f"({per_worker or '-'} per worker), "
+                 f"{executor_stats.get('steals', 0)} steals, "
+                 f"shared-artifacts {executor_stats.get('shared_hits', 0)} hits"
+                 f" / {executor_stats.get('shared_misses', 0)} misses, "
+                 f"{float(executor_stats.get('scenarios_per_sec', 0.0)):.2f} scen/s")
     return line + (f"; {extra}" if extra else "")
 
 

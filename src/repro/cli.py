@@ -39,6 +39,7 @@ from .experiments import (
     SweepGrid,
     available_scenario_schemes,
     get_plan_cache,
+    last_executor_stats,
     run_sweep,
     sweep_stats,
     write_csv,
@@ -177,19 +178,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_engine_stats(extra: str = "") -> None:
+def _print_engine_stats(extra: str = "", executor_stats=None) -> None:
     """Cache/solve/simulator accounting footer, printed to stderr.
 
     stderr so that stdout stays byte-identical across repeated invocations
     (hit counts and wall-clock seconds legitimately differ run to run).
     The format itself lives in :func:`repro.analysis.format_engine_footer`,
-    shared by every subcommand that prints the footer.
+    shared by every subcommand that prints the footer.  ``executor_stats``
+    (multiprocess sweeps) adds the ``exec:`` counters section.
     """
     from .engine import get_engine
     from .simulator import engine_counters
 
     print(format_engine_footer(get_engine().stats(), get_plan_cache().stats(),
-                               extra, sim_stats=engine_counters()),
+                               extra, sim_stats=engine_counters(),
+                               executor_stats=executor_stats),
           file=sys.stderr)
 
 
@@ -231,8 +234,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = SweepGrid(base=base, axes=axes)
     scenarios = grid.scenarios()
 
-    results = run_sweep(scenarios, out_path=args.out, jobs=args.jobs,
-                        resume=args.resume, n_jobs=args.lp_jobs)
+    try:
+        results = run_sweep(scenarios, out_path=args.out, jobs=args.jobs,
+                            resume=args.resume, n_jobs=args.lp_jobs,
+                            workers=args.workers)
+    except RuntimeError as exc:
+        # A died worker: partial results are merged and resumable; surface
+        # the message and the standard nonzero exit instead of a traceback.
+        print(f"error: {exc}")
+        return 1
 
     rows = []
     failures = []
@@ -261,11 +271,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         print(f"streaming results in {args.out}")
 
-    totals = sweep_stats(results)
+    exec_stats = last_executor_stats() if args.workers > 1 else None
+    totals = sweep_stats(results, executor=exec_stats)
     _print_engine_stats(
         f"scenarios: {totals['ok']} ok / {totals['errors']} error "
         f"({totals['resumed']} resumed); "
-        f"assemble {totals['assemble_seconds']:.3f}s solve {totals['solve_seconds']:.3f}s")
+        f"assemble {totals['assemble_seconds']:.3f}s solve {totals['solve_seconds']:.3f}s",
+        executor_stats=exec_stats.to_dict() if exec_stats else None)
     return 1 if totals["errors"] else 0
 
 
@@ -287,7 +299,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                              f"available: {', '.join(available_specs())}")
     summary = generate_report(out_dir=args.out, only=only, fast=args.fast,
                               jobs=args.jobs, n_jobs=args.lp_jobs,
-                              resume=args.resume)
+                              resume=args.resume, workers=args.workers)
     rows = [[sr.spec_id, sr.kind, sr.status, round(sr.seconds, 3),
              sr.num_scenarios, sr.num_resumed]
             for sr in summary.spec_results]
@@ -298,10 +310,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: {err}")
     print(f"wrote {summary.index_path}"
           + (" (+ index.html)" if len(summary.index_files) > 1 else ""))
+    exec_stats = last_executor_stats() if args.workers > 1 else None
     _print_engine_stats(
         f"artifacts: {sum(1 for sr in summary.spec_results if sr.status == 'ok')} ok "
         f"/ {sum(1 for sr in summary.spec_results if sr.status == 'error')} error; "
-        f"new LP solves: {summary.provenance.get('new_lp_solves', 0)}")
+        f"new LP solves: {summary.provenance.get('new_lp_solves', 0)}",
+        executor_stats=exec_stats.to_dict() if exec_stats else None)
     return 1 if summary.errors else 0
 
 
@@ -390,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--out", "-o", default=None,
                        help="JSONL results file (appended to, one record per scenario)")
     p_swp.add_argument("--csv", default=None, help="also write a flat CSV here")
+    p_swp.add_argument("--workers", type=int, default=1,
+                       help="work-stealing worker processes (per-worker "
+                            "resumable shards + shared artifact plane); "
+                            "1 keeps the in-process path")
     p_swp.add_argument("--jobs", type=int, default=1,
                        help="scenarios executed concurrently")
     p_swp.add_argument("--lp-jobs", type=int, default=1,
@@ -413,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced grids sized for CI smoke runs")
     p_rep.add_argument("--out", "-o", default="report",
                        help="report output directory (default: report/)")
+    p_rep.add_argument("--workers", type=int, default=1,
+                       help="work-stealing worker processes per artifact "
+                            "sweep (1 keeps the in-process path)")
     p_rep.add_argument("--jobs", type=int, default=1,
                        help="scenarios executed concurrently")
     p_rep.add_argument("--lp-jobs", type=int, default=1,

@@ -11,7 +11,12 @@ simulator) expressed as data instead of glue code:
   :class:`~repro.engine.cache.SolutionCache`);
 * :class:`SweepGrid` + :func:`run_sweep` — cartesian scenario grids executed
   through :class:`~repro.engine.runner.ParallelRunner` with streaming JSONL
-  records, resumable by scenario hash.
+  records, resumable by scenario hash;
+* :func:`run_sweep_workers` (or ``run_sweep(workers=N)``) — the same sweep
+  across work-stealing worker *processes* with per-worker resumable JSONL
+  shards, a deterministic hash-sorted merge, and a shared artifact plane
+  (:class:`SharedArtifactPlane`) so workers skip re-synthesizing hot
+  ``(topology, scheme)`` artifacts.
 
 ``analysis.sweep.compare_schemes``, the ``repro sweep`` CLI subcommand and
 the Fig. 3 / Fig. 4 / Table 1 benchmarks are all thin layers over this
@@ -19,6 +24,13 @@ module, so adding a topology x workload x fabric combination is a data
 change, not a code change.
 """
 
+from .executor import (
+    ExecutorStats,
+    SharedArtifactPlane,
+    last_executor_stats,
+    merge_shards,
+    run_sweep_workers,
+)
 from .plan import Plan, PlanResult, configure_plan_cache, get_plan_cache, reset_plan_cache
 from .scenario import (
     SCHEMES,
@@ -32,6 +44,7 @@ from .sweep import (
     ScenarioResult,
     SweepGrid,
     completed_keys,
+    completed_records,
     load_results,
     metrics_from_plan,
     result_from_plan,
@@ -53,9 +66,15 @@ __all__ = [
     "available_scenario_schemes",
     "resolve_scheme",
     "scenario_schema_version",
+    "ExecutorStats",
+    "SharedArtifactPlane",
+    "last_executor_stats",
+    "merge_shards",
+    "run_sweep_workers",
     "ScenarioResult",
     "SweepGrid",
     "completed_keys",
+    "completed_records",
     "load_results",
     "metrics_from_plan",
     "result_from_plan",

@@ -50,8 +50,8 @@ from .plan import Plan, PlanResult
 from .scenario import Scenario, scenario_schema_version
 
 __all__ = ["SweepGrid", "ScenarioResult", "run_scenarios", "run_sweep",
-           "load_results", "completed_keys", "write_csv", "sweep_stats",
-           "metrics_from_plan", "result_from_plan"]
+           "load_results", "completed_keys", "completed_records", "write_csv",
+           "sweep_stats", "metrics_from_plan", "result_from_plan"]
 
 
 # --------------------------------------------------------------------------- #
@@ -262,7 +262,7 @@ def run_scenarios(scenarios: Sequence[Scenario], jobs: int = 1,
 def run_sweep(scenarios: Sequence[Scenario], out_path: Optional[str] = None,
               jobs: int = 1, resume: bool = False, through: str = "simulate",
               cache: Optional[SolutionCache] = None,
-              n_jobs: int = 1) -> List[ScenarioResult]:
+              n_jobs: int = 1, workers: int = 1) -> List[ScenarioResult]:
     """Execute a sweep with streaming JSONL output and optional resume.
 
     Parameters
@@ -276,22 +276,27 @@ def run_sweep(scenarios: Sequence[Scenario], out_path: Optional[str] = None,
         returned (``resumed=True``) in place.  Errored records are retried.
     jobs:
         Scenarios executed concurrently (threads share the caches).
+    workers:
+        Worker *processes*.  ``workers > 1`` hands the whole sweep to the
+        work-stealing multiprocess executor
+        (:func:`~repro.experiments.executor.run_sweep_workers`): records
+        stream to per-worker shards under ``<out_path>.shards/`` and
+        ``out_path`` becomes their deterministic hash-sorted merge; ``jobs``
+        and ``cache`` are then ignored (each worker is its own process with
+        its own caches, bridged by the shared artifact plane).  The default
+        of 1 keeps the historical in-process thread path untouched.
     """
+    if workers > 1:
+        from .executor import run_sweep_workers
+
+        results, _stats = run_sweep_workers(
+            scenarios, out_path=out_path, workers=workers, resume=resume,
+            through=through, n_jobs=n_jobs)
+        return results
     scenarios = list(scenarios)
     done: Dict[str, Dict[str, object]] = {}
     if resume and out_path and os.path.exists(out_path):
-        from .scenario import STAGES
-
-        # Only records that ran at least as far as this sweep asks for count
-        # as complete: a synthesize-only record must not satisfy a simulate
-        # sweep (it has no simulation metrics to resume with).  Records from
-        # an older schema layout never resume (their keys are incomparable).
-        needed = STAGES.index(through)
-        done = {rec["key"]: rec for rec in load_results(out_path)
-                if rec.get("status") == "ok"
-                and rec.get("schema_version") == scenario_schema_version()
-                and rec.get("through") in STAGES
-                and STAGES.index(rec["through"]) >= needed}
+        done = completed_records([out_path], through=through)
 
     lock = threading.Lock()
     out_fh = open(out_path, "a") if out_path else None
@@ -336,14 +341,35 @@ def run_sweep(scenarios: Sequence[Scenario], out_path: Optional[str] = None,
 # --------------------------------------------------------------------------- #
 # JSONL / CSV I/O
 # --------------------------------------------------------------------------- #
+#: Parsed-file cache for the shared reader: absolute path -> ((mtime_ns,
+#: size), records).  ``load_results``/``completed_keys``/``completed_records``
+#: used to each re-read and re-parse the full JSONL on every call — with
+#: multi-shard resume consulting several files repeatedly, each file is now
+#: parsed once per on-disk state.  Bounded: oldest entry evicted beyond
+#: ``_READ_CACHE_MAX`` (sweep outputs plus a handful of shards in practice).
+_read_cache: Dict[str, Tuple[Tuple[int, int], List[Dict[str, object]]]] = {}
+_read_cache_lock = threading.Lock()
+_READ_CACHE_MAX = 32
+
+
 def load_results(path: str) -> List[Dict[str, object]]:
     """Parse a sweep JSONL file, skipping torn trailing lines.
 
     A sweep killed mid-write can leave a partial last line; treating it as
     absent (rather than failing) is what makes resume-after-kill work.
+    Results are served from a parse cache keyed by the file's (mtime, size)
+    signature, so repeated resume/merge passes over the same files parse
+    each file once; appending to the file invalidates its entry.
     """
+    abspath = os.path.abspath(path)
+    stat = os.stat(abspath)
+    signature = (stat.st_mtime_ns, stat.st_size)
+    with _read_cache_lock:
+        cached = _read_cache.get(abspath)
+        if cached is not None and cached[0] == signature:
+            return list(cached[1])
     records: List[Dict[str, object]] = []
-    with open(path) as fh:
+    with open(abspath) as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -354,12 +380,66 @@ def load_results(path: str) -> List[Dict[str, object]]:
                 continue
             if isinstance(rec, dict) and "key" in rec:
                 records.append(rec)
-    return records
+    with _read_cache_lock:
+        if abspath not in _read_cache and len(_read_cache) >= _READ_CACHE_MAX:
+            _read_cache.pop(next(iter(_read_cache)))
+        _read_cache[abspath] = (signature, records)
+    return list(records)
 
 
 def completed_keys(path: str) -> List[str]:
-    """Keys of scenarios with an ``ok`` record in a sweep JSONL file."""
-    return [rec["key"] for rec in load_results(path) if rec.get("status") == "ok"]
+    """Keys of scenarios with an ``ok`` record in a sweep JSONL file.
+
+    Deduplicated (first occurrence wins): a scenario whose record appears in
+    several merged shards counts once.
+    """
+    seen: Dict[str, None] = {}
+    for rec in load_results(path):
+        if rec.get("status") == "ok":
+            seen.setdefault(str(rec["key"]), None)
+    return list(seen)
+
+
+def completed_records(paths: Sequence[str], through: str = "simulate",
+                      ok_only: bool = True) -> Dict[str, Dict[str, object]]:
+    """Resumable records across one or more JSONL files, deduped by key.
+
+    The single source of resume truth for both the thread path and the
+    multiprocess executor: a scenario whose record appears in two shards (or
+    in a shard *and* the merged output) resolves to one entry, so resume
+    never re-runs it and a merge never duplicates it.
+
+    Only records that ran at least as far as ``through`` count as complete
+    (a synthesize-only record must not satisfy a simulate sweep), and only
+    records from the current scenario schema layout resume at all (older
+    keys are incomparable).  Dedupe is first-wins in ``paths`` order, except
+    that an ``ok`` record always displaces an ``error`` one; with
+    ``ok_only`` (the default) error records are dropped entirely —
+    ``ok_only=False`` keeps them for callers rebuilding full result sets.
+    """
+    from .scenario import STAGES
+
+    needed = STAGES.index(through)
+    out: Dict[str, Dict[str, object]] = {}
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+        for rec in load_results(path):
+            if rec.get("schema_version") != scenario_schema_version():
+                continue
+            key = str(rec.get("key") or "")
+            if not key:
+                continue
+            if rec.get("status") == "ok":
+                if rec.get("through") not in STAGES \
+                        or STAGES.index(rec["through"]) < needed:
+                    continue
+                existing = out.get(key)
+                if existing is None or existing.get("status") != "ok":
+                    out[key] = rec
+            elif not ok_only:
+                out.setdefault(key, rec)
+    return out
 
 
 def write_csv(results: Iterable[ScenarioResult], path: str) -> None:
@@ -395,14 +475,29 @@ def write_csv(results: Iterable[ScenarioResult], path: str) -> None:
         writer.writerows(rows)
 
 
-def sweep_stats(results: Sequence[ScenarioResult]) -> Dict[str, object]:
-    """Aggregate accounting across a sweep (for the CLI stats footer)."""
+def sweep_stats(results: Sequence[ScenarioResult],
+                executor: Optional[object] = None) -> Dict[str, object]:
+    """Aggregate accounting across a sweep (for the CLI stats footer).
+
+    ``executor`` takes the :class:`~repro.experiments.executor.ExecutorStats`
+    of a multiprocess run (e.g. from
+    :func:`~repro.experiments.executor.last_executor_stats`); its counters —
+    scenarios/sec, per-worker completed counts, steal count, shared-artifact
+    hits/misses — are folded into the returned mapping.
+    """
     totals = {"scenarios": len(results),
               "ok": sum(1 for r in results if r.status == "ok"),
               "errors": sum(1 for r in results if r.status == "error"),
               "resumed": sum(1 for r in results if r.resumed),
               "assemble_seconds": 0.0, "solve_seconds": 0.0,
               "stage_hits": 0, "stage_misses": 0}
+    if executor is not None:
+        totals["workers"] = executor.workers
+        totals["per_worker_completed"] = list(executor.completed)
+        totals["steals"] = executor.steals
+        totals["shared_hits"] = executor.shared_hits
+        totals["shared_misses"] = executor.shared_misses
+        totals["scenarios_per_sec"] = executor.scenarios_per_sec
     for res in results:
         if not res.resumed:
             # Resumed records carry the *original* run's timings; summing them

@@ -80,7 +80,8 @@ def generate_report(out_dir: str = "report",
                     fast: bool = False,
                     jobs: int = 1,
                     n_jobs: int = 1,
-                    resume: bool = False) -> ReportSummary:
+                    resume: bool = False,
+                    workers: int = 1) -> ReportSummary:
     """Run artifact specs and render the provenance-stamped report.
 
     Parameters
@@ -99,6 +100,9 @@ def generate_report(out_dir: str = "report",
         Reuse completed records from a previous run's ``data/*.jsonl``
         (per-scenario resume, same semantics as ``repro sweep --resume``).
         Without it each spec's JSONL is started fresh.
+    workers:
+        Work-stealing worker processes per artifact sweep (``repro sweep
+        --workers`` semantics); 1 keeps the in-process path.
     """
     from ..engine import get_engine
 
@@ -113,7 +117,8 @@ def generate_report(out_dir: str = "report",
             os.remove(jsonl)
         start = time.perf_counter()
         results = run_sweep(spec.scenarios(fast), out_path=jsonl, jobs=jobs,
-                            resume=resume, through=spec.through, n_jobs=n_jobs)
+                            resume=resume, through=spec.through, n_jobs=n_jobs,
+                            workers=workers)
         spec_result = spec.aggregate(results, fast=fast)
         spec_result.seconds = time.perf_counter() - start
         summary.spec_results.append(spec_result)
