@@ -1,15 +1,24 @@
 #!/usr/bin/env python
 """Strict markdown link check for the docs site (CI ``docs`` job gate).
 
-Usage: python benchmarks/check_docs.py README.md docs/*.md
+Usage: python benchmarks/check_docs.py README.md docs/*.md examples/*.py
 
-For every ``[text](target)`` link in the given files:
+For every ``[text](target)`` link in the given markdown files:
 
 * relative file targets must exist on disk (resolved against the containing
   file's directory, URL fragments stripped);
 * in-page and cross-page ``#fragment`` anchors must match a heading slug in
   the target file (GitHub-style slugification);
 * ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI).
+
+``.py`` arguments are checked through their module docstring: it must exist,
+and every markdown link or bare ``docs/<page>.md`` reference in it must
+resolve on disk (tried against the file's directory, its parent, and the
+working directory — so ``docs/cluster.md`` works from ``examples/``).
+
+Orphan gate: every ``docs/*.md`` argument must be reachable from a root page
+(``README.md`` or ``index.md`` among the arguments) by following markdown
+links; unreachable pages are errors — a docs page nobody links to is dead.
 
 Exit code 0 when every link resolves, 1 with a per-link report otherwise.
 Fenced code blocks are ignored so shell snippets containing brackets don't
@@ -19,14 +28,17 @@ produce false positives.
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import re
 import sys
-from typing import Dict, List
+from typing import Dict, List, Set
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+DOC_REF_RE = re.compile(r"\bdocs/[\w\-./]+\.md\b")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+ROOT_PAGES = ("README.md", "index.md")
 
 
 def _strip_fences(text: str) -> str:
@@ -58,7 +70,8 @@ def _anchors(path: str, cache: Dict[str, set]) -> set:
     return cache[path]
 
 
-def check_file(path: str, anchor_cache: Dict[str, set], errors: List[str]) -> int:
+def check_file(path: str, anchor_cache: Dict[str, set], errors: List[str],
+               out_links: Set[str]) -> int:
     with open(path) as fh:
         text = _strip_fences(fh.read())
     base = os.path.dirname(os.path.abspath(path))
@@ -75,25 +88,90 @@ def check_file(path: str, anchor_cache: Dict[str, set], errors: List[str]) -> in
         if not os.path.exists(target_path):
             errors.append(f"{path}: broken link {target} -> {target_path}")
             continue
+        out_links.add(os.path.abspath(target_path))
         if fragment and os.path.isfile(target_path) and target_path.endswith(".md"):
             if _slugify(fragment) not in _anchors(target_path, anchor_cache):
                 errors.append(f"{path}: missing anchor #{fragment} in {file_part or path}")
     return count
 
 
+def check_python_file(path: str, errors: List[str], out_links: Set[str]) -> int:
+    """Check a ``.py`` file's module docstring for dead docs references."""
+    with open(path) as fh:
+        try:
+            tree = ast.parse(fh.read(), filename=path)
+        except SyntaxError as exc:
+            errors.append(f"{path}: does not parse ({exc})")
+            return 0
+    doc = ast.get_docstring(tree)
+    if not doc:
+        errors.append(f"{path}: missing module docstring")
+        return 0
+    base = os.path.dirname(os.path.abspath(path))
+    refs = {m.group(1) for m in LINK_RE.finditer(doc)
+            if not m.group(1).startswith(EXTERNAL_PREFIXES)}
+    refs.update(m.group(0) for m in DOC_REF_RE.finditer(doc))
+    count = 0
+    for dest in sorted(refs):
+        count += 1
+        file_part = dest.partition("#")[0]
+        candidates = [os.path.normpath(os.path.join(root, file_part))
+                      for root in (base, os.path.dirname(base), os.getcwd())]
+        found = next((c for c in candidates if os.path.exists(c)), None)
+        if found is None:
+            errors.append(f"{path}: docstring references missing file {dest}")
+        else:
+            out_links.add(os.path.abspath(found))
+    return count
+
+
+def check_orphans(md_files: List[str], links_from: Dict[str, Set[str]],
+                  errors: List[str]) -> None:
+    """Every docs page must be reachable from a root page via markdown links."""
+    roots = [p for p in links_from
+             if os.path.basename(p) in ROOT_PAGES]
+    if not roots:
+        return  # nothing to anchor reachability on (partial invocation)
+    reached: Set[str] = set(roots)
+    frontier = list(roots)
+    while frontier:
+        here = frontier.pop()
+        for dest in links_from.get(here, ()):
+            if dest not in reached:
+                reached.add(dest)
+                frontier.append(dest)
+    for path in md_files:
+        abspath = os.path.abspath(path)
+        if abspath not in reached and os.path.basename(path) not in ROOT_PAGES:
+            errors.append(f"{path}: orphaned page — not reachable from "
+                          f"{'/'.join(ROOT_PAGES)} via markdown links")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument("files", nargs="+",
+                        help="markdown files (and .py files, checked via "
+                             "their module docstring)")
     args = parser.parse_args(argv)
 
     errors: List[str] = []
     anchor_cache: Dict[str, set] = {}
+    links_from: Dict[str, Set[str]] = {}
+    md_files: List[str] = []
     total = 0
     for path in args.files:
         if not os.path.exists(path):
             errors.append(f"{path}: file does not exist")
             continue
-        total += check_file(path, anchor_cache, errors)
+        out_links: Set[str] = set()
+        if path.endswith(".py"):
+            total += check_python_file(path, errors, out_links)
+        else:
+            md_files.append(path)
+            total += check_file(path, anchor_cache, errors, out_links)
+        links_from[os.path.abspath(path)] = out_links
+
+    check_orphans(md_files, links_from, errors)
 
     if errors:
         for err in errors:

@@ -2,7 +2,7 @@
 """Validate a sweep JSONL file against the record schema (CI sweep-smoke gate).
 
 Usage: python benchmarks/check_sweep.py results.jsonl [--expect N]
-       [--require-sim] [--compare OTHER]
+       [--require-sim] [--require-cluster] [--compare OTHER]
 
 Checks every line parses, carries the mandatory record fields with the right
 shapes (64-hex key, current schema_version, ok/error status, numeric metrics
@@ -11,6 +11,9 @@ and timings), and — with ``--expect`` — that exactly N records exist and all
 ok record to carry the simulator cost counters (``sim_fill_rounds``,
 ``sim_events``) and, for scenarios with ``overlap > 1``, per-collective
 completion times with exactly ``overlap`` entries per buffer point.
+``--require-cluster`` (the CI cluster-smoke gate) requires each ok record to
+carry the multi-job co-simulation metrics (``job_slowdown_p50``,
+``makespan_seconds``, ``fabric_utilization``) with sane values.
 ``--compare OTHER`` (the CI sweep-parallel gate) requires the two files to be
 canonically identical: records sorted by scenario hash, the volatile
 execution-accounting sections (``timings``, ``engine``, ``stage_cache`` —
@@ -34,7 +37,7 @@ REQUIRED_FIELDS = ("schema_version", "key", "label", "status", "through",
 
 #: Mirrors repro.experiments.scenario_schema_version() without importing the
 #: package (this script runs without PYTHONPATH=src in CI).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Mirrors repro.experiments.executor.VOLATILE_RECORD_FIELDS: execution
 #: accounting (wall clock, cache luck) that legitimately differs between a
@@ -131,6 +134,27 @@ def check_sim_metrics(index: int, rec: dict, errors: List[str]) -> None:
                               f"entries, expected {overlap}")
 
 
+def check_cluster_metrics(index: int, rec: dict, errors: List[str]) -> None:
+    """The --require-cluster gate: multi-job co-simulation metrics."""
+    if rec.get("status") != "ok":
+        return
+    metrics = rec.get("metrics", {})
+    for name in ("job_slowdown_p50", "makespan_seconds", "fabric_utilization"):
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"line {index}: metrics[{name!r}] missing or negative")
+    slowdown = metrics.get("job_slowdown_p50")
+    if isinstance(slowdown, (int, float)) and slowdown and slowdown < 1.0 - 1e-6:
+        errors.append(f"line {index}: job_slowdown_p50 {slowdown} < 1 "
+                      "(a shared fabric cannot beat the isolated run)")
+    utilization = metrics.get("fabric_utilization")
+    if isinstance(utilization, (int, float)) and utilization > 1.0 + 1e-6:
+        errors.append(f"line {index}: fabric_utilization {utilization} > 1")
+    jobs = metrics.get("cluster_jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        errors.append(f"line {index}: metrics['cluster_jobs'] missing or < 1")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("jsonl", help="sweep results file to validate")
@@ -139,6 +163,9 @@ def main(argv=None) -> int:
     parser.add_argument("--require-sim", action="store_true",
                         help="require simulator counters (and per-collective "
                              "times for overlap scenarios) in every ok record")
+    parser.add_argument("--require-cluster", action="store_true",
+                        help="require multi-job cluster metrics (slowdown, "
+                             "makespan, utilization) in every ok record")
     parser.add_argument("--compare", default=None, metavar="OTHER",
                         help="require canonical equality with another sweep "
                              "JSONL (volatile fields dropped, hash-sorted)")
@@ -154,6 +181,8 @@ def main(argv=None) -> int:
             rec = check_record(index, line, errors)
             if args.require_sim:
                 check_sim_metrics(index, rec, errors)
+            if args.require_cluster:
+                check_cluster_metrics(index, rec, errors)
             records.append(rec)
 
     if args.compare is not None:

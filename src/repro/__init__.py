@@ -24,7 +24,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "analysis",

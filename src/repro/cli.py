@@ -8,6 +8,9 @@ Mirrors the tool chain a user of the paper's system would drive:
 * ``repro simulate``    -- run a synthesised schedule on the simulated fabric
   across a buffer sweep and print the throughput series;
 * ``repro compare``     -- compare several schemes on one topology (Fig. 8 style);
+* ``repro cluster``     -- co-simulate multi-job traces (compute/comm phases,
+  stochastic arrivals, placement policies) sharing one fabric, reporting
+  per-job slowdown, makespan and fabric utilization;
 * ``repro sweep``       -- run a declarative scenario grid (topology x scheme x
   fabric x ...) with streaming JSONL results, resumable by scenario hash;
 * ``repro report``      -- regenerate the paper's figures/tables as a
@@ -216,6 +219,74 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Multi-job cluster co-simulation: one scenario per ``--trace``.
+
+    Each trace spec (``cluster:jobs=4:arrival=poisson~2000:placement=packed``)
+    becomes one cluster scenario on the given topology/scheme/fabric, executed
+    through :func:`~repro.experiments.run_sweep` — so ``--out`` emits
+    sweep-compatible JSONL and ``--resume``/``--jobs``/``--workers`` behave
+    exactly as in ``repro sweep``.  Traces share the synthesized schedule
+    (the trace enters the simulate stage key only).
+    """
+    from .experiments import Scenario
+
+    traces = args.trace or [
+        "cluster:jobs=4:arrival=poisson~2000:placement=packed:seed=0"]
+    scenarios = []
+    for trace in traces:
+        base = {"topology": args.topology, "scheme": args.scheme,
+                "fabric": args.fabric,
+                "buffers": (float(args.buffer),), "cluster": trace}
+        _apply_set_args(args.set, base)
+        scenarios.append(Scenario.from_dict(base))
+
+    try:
+        results = run_sweep(scenarios, out_path=args.out, jobs=args.jobs,
+                            resume=args.resume, n_jobs=args.lp_jobs,
+                            workers=args.workers)
+    except RuntimeError as exc:
+        print(f"error: {exc}")
+        return 1
+
+    rows = []
+    failures = []
+    for res, trace in zip(results, traces):
+        if res.status == "error":
+            rows.append([trace, "error", "-", "-", "-", "-", "-"])
+            failures.append((trace, res.error or "unknown error"))
+            continue
+        m = res.metrics
+        rows.append([
+            trace,
+            "resumed" if res.resumed else "ok",
+            m.get("cluster_jobs", "-"),
+            "-" if m.get("makespan_seconds") is None
+            else f"{float(m['makespan_seconds']):.6f}",
+            "-" if m.get("job_slowdown_p50") is None
+            else round(float(m["job_slowdown_p50"]), 3),
+            "-" if m.get("job_slowdown_p99") is None
+            else round(float(m["job_slowdown_p99"]), 3),
+            "-" if m.get("fabric_utilization") is None
+            else round(float(m["fabric_utilization"]), 3),
+        ])
+    print(format_table(
+        ["trace", "status", "jobs", "makespan (s)", "slowdown p50",
+         "slowdown p99", "utilization"],
+        rows, title=f"Cluster co-simulation on {args.topology} ({args.scheme})"))
+    for trace, message in failures:
+        print(f"error: {trace}: {message}")
+    if args.out:
+        print(f"streaming results in {args.out}")
+    exec_stats = last_executor_stats() if args.workers > 1 else None
+    totals = sweep_stats(results, executor=exec_stats)
+    _print_engine_stats(
+        f"traces: {totals['ok']} ok / {totals['errors']} error "
+        f"({totals['resumed']} resumed)",
+        executor_stats=exec_stats.to_dict() if exec_stats else None)
+    return 1 if totals["errors"] else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     base = {}
     axes = {}
@@ -383,6 +454,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--jobs", type=int, default=1,
                        help="schemes evaluated concurrently (output is identical to serial)")
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_clu = sub.add_parser(
+        "cluster",
+        help="co-simulate multi-job cluster traces on one fabric",
+        description="Run one or more cluster trace specs "
+                    "(cluster:jobs=4:arrival=poisson~2000:placement=packed) "
+                    "over a synthesized schedule, with every live job's comm "
+                    "phases max-min fair sharing the fabric.  Emits "
+                    "sweep-compatible JSONL via --out; see docs/cluster.md "
+                    "for the trace grammar and metric definitions.")
+    p_clu.add_argument("topology", help="topology spec, e.g. hypercube:dim=3")
+    p_clu.add_argument("--trace", action="append", metavar="SPEC",
+                       help="cluster trace spec (repeatable; one scenario "
+                            "each); default: a 4-job Poisson/packed trace")
+    p_clu.add_argument("--scheme", default="mcf-extp",
+                       help="path-based scheme name (link-based schemes like "
+                            "tsmcf cannot interleave jobs)")
+    p_clu.add_argument("--fabric", default="hpc",
+                       help="fabric spec, e.g. hpc, ml, hpc:scale=0~1:0.5")
+    p_clu.add_argument("--buffer", type=float, default=float(2**20),
+                       help="per-node all-to-all buffer bytes (used when a "
+                            "trace has no buffer= field)")
+    p_clu.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="set any scenario field (repeatable), "
+                            "e.g. --set max_denominator=16")
+    p_clu.add_argument("--out", "-o", default=None,
+                       help="JSONL results file (appended to, one record per trace)")
+    p_clu.add_argument("--resume", action="store_true",
+                       help="skip traces whose key already has an ok record in --out")
+    p_clu.add_argument("--jobs", type=int, default=1,
+                       help="traces executed concurrently (threads)")
+    p_clu.add_argument("--workers", type=int, default=1,
+                       help="work-stealing worker processes (as in repro sweep)")
+    p_clu.add_argument("--lp-jobs", type=int, default=1,
+                       help="child-LP workers within each scenario")
+    p_clu.set_defaults(func=_cmd_cluster)
 
     p_swp = sub.add_parser(
         "sweep",

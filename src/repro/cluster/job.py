@@ -1,0 +1,73 @@
+"""Job and phase model for cluster co-simulation.
+
+A :class:`Job` is an ordered sequence of phases executed after its arrival
+time, with an implicit barrier between consecutive phases: a
+:class:`ComputePhase` cannot start before the preceding comm phase's last
+byte (including start-up latency) has landed, and a :class:`CommPhase`
+cannot inject flows before the preceding compute finishes.  This mirrors
+the bulk-synchronous structure of data-parallel training steps
+(compute → all-to-all → compute → ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .trace import ClusterSpec, arrival_times
+
+__all__ = ["ComputePhase", "CommPhase", "Job", "jobs_from_spec"]
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """A compute phase: the job holds its nodes for ``seconds``, no traffic."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """An all-to-all communication phase over ``buffer_bytes`` per node."""
+
+    buffer_bytes: float
+
+
+Phase = Union[ComputePhase, CommPhase]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job: ``phases`` run in order after ``arrival``, barrier-separated."""
+
+    job_id: int
+    arrival: float
+    phases: Tuple[Phase, ...]
+    name: str = ""
+
+
+def jobs_from_spec(spec: ClusterSpec,
+                   default_buffer: Optional[float] = None) -> List[Job]:
+    """Expand a :class:`~repro.cluster.trace.ClusterSpec` into concrete jobs.
+
+    Each job runs ``spec.rounds`` rounds of ``ComputePhase(spec.compute)``
+    followed by ``CommPhase(buffer)``; the buffer comes from the spec's
+    ``buffer=`` field, falling back to ``default_buffer`` (typically the
+    scenario's first ``buffers`` entry).
+    """
+    buffer = spec.buffer if spec.buffer is not None else default_buffer
+    if buffer is None:
+        raise ValueError(
+            "cluster spec has no buffer= field and no scenario buffer to "
+            "fall back on; set buffer= in the trace spec or give the "
+            "scenario a non-empty buffers tuple")
+    times = arrival_times(spec)
+    jobs: List[Job] = []
+    for job_id, arrival in enumerate(times):
+        phases: List[Phase] = []
+        for _ in range(spec.rounds):
+            phases.append(ComputePhase(float(spec.compute)))
+            phases.append(CommPhase(float(buffer)))
+        jobs.append(Job(job_id=job_id, arrival=float(arrival),
+                        phases=tuple(phases), name=f"job{job_id}"))
+    return jobs

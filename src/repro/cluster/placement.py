@@ -1,0 +1,90 @@
+"""Placement policies: mapping a job's logical nodes onto physical nodes.
+
+A placement is a permutation ``perm`` of the topology's node ids —
+``perm[logical] = physical``.  Schedules are synthesized once for the
+logical topology; placing a job relabels every route through the
+permutation.  Because an arbitrary relabelling can map a scheduled hop
+onto a non-existent physical link, :func:`place_route` repairs such hops
+with a deterministic BFS shortest path, so any permutation yields a valid
+(if longer) route.  The ``packed`` policy is the identity, which keeps the
+placed routes exactly equal to the scheduled ones — the configuration the
+zero-contention differential test pins against the single-collective
+engine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from ..topology.base import Topology
+from .trace import PLACEMENT_POLICIES
+
+__all__ = ["placement_permutation", "place_route"]
+
+
+def placement_permutation(policy: str, job_id: int, num_nodes: int,
+                          num_jobs: int, seed: int = 0) -> Tuple[int, ...]:
+    """The node permutation placing ``job_id`` under ``policy``.
+
+    ``packed`` — identity (every job on the scheduled nodes); ``spread`` —
+    rotate by ``job_id * max(1, num_nodes // num_jobs)`` so consecutive
+    jobs anchor on well-separated nodes; ``random`` — a shuffle seeded by
+    ``(seed, job_id)``, reproducible across runs.
+    """
+    if policy == "packed":
+        return tuple(range(num_nodes))
+    if policy == "spread":
+        stride = max(1, num_nodes // max(1, num_jobs))
+        shift = (job_id * stride) % num_nodes
+        return tuple((i + shift) % num_nodes for i in range(num_nodes))
+    if policy == "random":
+        rng = random.Random(seed * 1_000_003 + job_id)
+        perm = list(range(num_nodes))
+        rng.shuffle(perm)
+        return tuple(perm)
+    raise ValueError(
+        f"unknown placement policy {policy!r}; expected one of "
+        f"{PLACEMENT_POLICIES}")
+
+
+def _shortest_path(topology: Topology, src: int, dst: int) -> Tuple[int, ...]:
+    """Deterministic BFS shortest path from ``src`` to ``dst`` (inclusive)."""
+    prev: Dict[int, Optional[int]] = {src: None}
+    frontier = deque([src])
+    while frontier:
+        u = frontier.popleft()
+        if u == dst:
+            break
+        for v in topology.successors(u):
+            if v not in prev:
+                prev[v] = u
+                frontier.append(v)
+    if dst not in prev:
+        raise ValueError(f"no path from node {src} to node {dst}")
+    path = [dst]
+    while prev[path[-1]] is not None:
+        path.append(prev[path[-1]])  # type: ignore[arg-type]
+    return tuple(reversed(path))
+
+
+def place_route(route: Tuple[int, ...], perm: Tuple[int, ...],
+                topology: Topology) -> Tuple[int, ...]:
+    """Relabel a scheduled route through ``perm``, repairing missing links.
+
+    Every hop of the mapped route that is not a physical link is replaced
+    by the deterministic BFS shortest path between its endpoints (identity
+    permutations return the route unchanged).
+    """
+    mapped = [perm[v] for v in route]
+    out = [mapped[0]]
+    for v in mapped[1:]:
+        u = out[-1]
+        if u == v:
+            continue
+        if topology.has_edge(u, v):
+            out.append(v)
+        else:
+            out.extend(_shortest_path(topology, u, v)[1:])
+    return tuple(out)

@@ -1,0 +1,297 @@
+"""Multi-job cluster co-simulation on the unified fluid engine.
+
+:func:`run_cluster` executes a trace of jobs — each a barrier-separated
+sequence of compute and all-to-all comm phases — over one synthesized
+routed schedule, with every live comm phase's flows max-min fair sharing
+the fabric.  Arrivals, phase barriers and flow completions all advance
+through the engine's :class:`~repro.simulator.events.EventQueue`; flow
+sets are injected and retired at event boundaries with incremental
+re-fills over the survivors (see :mod:`.injector`).
+
+Reported metrics:
+
+- **per-job slowdown** — ``(finish - arrival) / isolated_seconds``, where
+  the isolated time runs the same placed flows alone on the same fabric
+  through the single-collective engine (so a lone job has slowdown 1.0 to
+  float round-off);
+- **makespan** — last finish minus first arrival;
+- **fabric utilization** — time-weighted mean link utilization:
+  bytes x links-crossed delivered, over total link capacity x makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..constants import SIM_BYTES_EPS, SIM_EPS
+from ..schedule.ir import LinkSchedule, RoutedSchedule
+from ..schedule.validate import validate_routed_schedule
+from ..simulator.engine import (FluidFlow, compile_flows, execute,
+                                record_simulation)
+from ..simulator.events import EventQueue
+from ..simulator.fabric import FabricModel
+from .injector import FlowInjector
+from .job import CommPhase, ComputePhase, jobs_from_spec
+from .placement import place_route, placement_permutation
+from .trace import ClusterSpec, parse_cluster_spec
+
+__all__ = ["JobResult", "ClusterResult", "run_cluster"]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: timing, slowdown and its phase spans.
+
+    ``phase_spans`` lists ``(kind, start, end)`` per executed phase
+    (``kind`` is ``"compute"`` or ``"comm"``), in order — consecutive
+    spans never overlap, which is the barrier property tests assert.
+    """
+
+    job_id: int
+    name: str
+    arrival: float
+    finish: float
+    isolated_seconds: float
+    slowdown: float
+    phase_spans: Tuple[Tuple[str, float, float], ...]
+
+    @property
+    def completion_seconds(self) -> float:
+        """Wall-clock the job spent in the system (finish - arrival)."""
+        return self.finish - self.arrival
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster co-simulation run."""
+
+    jobs: List[JobResult]
+    makespan_seconds: float
+    fabric_utilization: float
+    fill_rounds: int
+    events: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def slowdowns(self) -> List[float]:
+        """Per-job slowdown factors, in job order."""
+        return [j.slowdown for j in self.jobs]
+
+
+def _isolated_comm_seconds(topology, flows, fabric) -> float:
+    """Completion time of one comm phase run alone (engine differential)."""
+    return execute(compile_flows(topology, flows, fabric)).completion_time
+
+
+def run_cluster(schedule: Union[RoutedSchedule, LinkSchedule],
+                spec: Union[ClusterSpec, str],
+                fabric: Optional[FabricModel] = None,
+                default_buffer: Optional[float] = None,
+                validate: bool = True,
+                max_events: int = 1_000_000) -> ClusterResult:
+    """Co-simulate a multi-job trace over one synthesized schedule.
+
+    ``spec`` is a :class:`ClusterSpec` or a ``cluster:...`` spec string;
+    ``default_buffer`` backs the trace's ``buffer=`` field when absent.
+    Only routed (path-based) schedules are supported: link schedules are
+    globally step-synchronized, so their steps cannot interleave across
+    independently-arriving jobs.
+    """
+    if isinstance(spec, str):
+        spec = parse_cluster_spec(spec)
+    if isinstance(schedule, LinkSchedule):
+        raise ValueError(
+            "cluster co-simulation supports routed (path-based) schedules "
+            "only; LinkSchedule steps are globally synchronized and cannot "
+            "interleave across jobs — use a cut-through scheme "
+            "(e.g. mcf-extp)")
+    if validate:
+        validate_routed_schedule(schedule)
+    topology = schedule.topology
+    n = topology.num_nodes
+    fabric = fabric or FabricModel()
+    jobs = jobs_from_spec(spec, default_buffer=default_buffer)
+
+    # Placed flow template per job (route, bytes), reused every round, and
+    # the per-job isolated comm time (cached per distinct placement).
+    templates: Dict[int, List[Tuple[Tuple[int, ...], float]]] = {}
+    isolated_comm: Dict[int, float] = {}
+    iso_cache: Dict[Tuple[Tuple[int, ...], float], float] = {}
+    for job in jobs:
+        perm = placement_permutation(spec.placement, job.job_id, n,
+                                     spec.jobs, spec.seed)
+        buffer = next(p.buffer_bytes for p in job.phases
+                      if isinstance(p, CommPhase))
+        shard = buffer / n
+        template = [(place_route(a.route, perm, topology),
+                     a.chunk.bytes(shard)) for a in schedule.assignments]
+        templates[job.job_id] = template
+        key = (perm, float(buffer))
+        if key not in iso_cache:
+            flows = [FluidFlow(path=path, size_bytes=size)
+                     for path, size in template]
+            iso_cache[key] = _isolated_comm_seconds(topology, flows, fabric)
+        isolated_comm[job.job_id] = iso_cache[key]
+
+    queue = EventQueue()
+    injector = FlowInjector(topology, fabric)
+    state: Dict[str, object] = {"last": 0.0, "rates": np.zeros(0),
+                                "fill_rounds": 0, "pending": None,
+                                "edge_mask": None}
+    job_by_id = {job.job_id: job for job in jobs}
+    phase_index = {job.job_id: 0 for job in jobs}
+    comm_round = {job.job_id: 0 for job in jobs}
+    spans: Dict[int, List[List[object]]] = {job.job_id: [] for job in jobs}
+    finish: Dict[int, float] = {}
+    # set id -> [job_id, flows outstanding, max completion time seen]
+    set_state: Dict[int, List[object]] = {}
+
+    def _advance() -> None:
+        """Integrate the current rates from the last fill time to now."""
+        dt = queue.now - state["last"]
+        if dt > 0 and injector.num_flows:
+            injector.advance(state["rates"], dt)
+        state["last"] = queue.now
+
+    def _refill() -> None:
+        """Re-fill over the surviving flows; (re)schedule the next edge."""
+        pending = state["pending"]
+        if pending is not None:
+            pending.cancel()
+            state["pending"] = None
+        state["last"] = queue.now
+        if injector.num_flows == 0:
+            state["rates"] = np.zeros(0)
+            state["edge_mask"] = None
+            return
+        rates, rounds = injector.fill()
+        state["rates"] = rates
+        state["fill_rounds"] = int(state["fill_rounds"]) + rounds
+        eligible = rates > SIM_EPS
+        if not eligible.any():
+            raise RuntimeError(
+                "cluster simulation stalled: live flows have zero rate")
+        dt = max(0.0, float(np.min(
+            injector.remaining[eligible] / rates[eligible])))
+        # Flows whose analytic finish lands on this edge.  They are forced
+        # done when the edge fires: if ``now + dt == now`` in floats (late
+        # arrival, sub-ulp dt), time cannot advance past the edge and the
+        # residual bytes would respawn the same edge forever.
+        state["edge_mask"] = eligible & (
+            injector.remaining <= rates * (dt * (1.0 + 1e-12)) + SIM_BYTES_EPS)
+        state["pending"] = queue.schedule(dt, _on_transfer_edge)
+
+    def _drain_retired() -> None:
+        """Retire drained flows; finish comm phases whose set is empty."""
+        for set_id, delay in injector.retire():
+            entry = set_state[set_id]
+            entry[1] = int(entry[1]) - 1
+            entry[2] = max(float(entry[2]), queue.now + delay)
+            if entry[1] == 0:
+                job_id = int(entry[0])
+                queue.schedule_at(
+                    float(entry[2]),
+                    lambda job_id=job_id: _phase_done(job_id))
+
+    def _on_transfer_edge() -> None:
+        """A flow ran dry: retire completions, then re-fill the survivors."""
+        state["pending"] = None
+        _advance()
+        if state["edge_mask"] is not None:
+            injector.force_finish(state["edge_mask"])
+            state["edge_mask"] = None
+        _drain_retired()
+        _refill()
+
+    def _phase_done(job_id: int) -> None:
+        """Barrier: close the job's running phase and start the next one."""
+        _advance()
+        spans[job_id][-1][2] = queue.now
+        _start_next_phase(job_id)
+
+    def _start_next_phase(job_id: int) -> None:
+        """Start the job's next phase, or record its finish time."""
+        job = job_by_id[job_id]
+        index = phase_index[job_id]
+        if index >= len(job.phases):
+            finish[job_id] = queue.now
+            return
+        phase_index[job_id] = index + 1
+        phase = job.phases[index]
+        if isinstance(phase, ComputePhase):
+            spans[job_id].append(["compute", queue.now, queue.now])
+            queue.schedule(phase.seconds,
+                           lambda job_id=job_id: _phase_done(job_id))
+            return
+        spans[job_id].append(["comm", queue.now, queue.now])
+        round_id = comm_round[job_id]
+        comm_round[job_id] = round_id + 1
+        flows = [FluidFlow(path=path, size_bytes=size, tag=(job_id, round_id))
+                 for path, size in templates[job_id]]
+        set_id = injector.inject(flows, name=f"job{job_id}/round{round_id}")
+        set_state[set_id] = [job_id, len(flows), queue.now]
+        _drain_retired()        # zero-byte flows complete at injection
+        _refill()
+
+    def _on_arrival(job_id: int) -> None:
+        """A job arrives: advance the fluid state and start its first phase."""
+        _advance()
+        _start_next_phase(job_id)
+
+    for job in jobs:
+        queue.schedule_at(job.arrival,
+                          lambda job_id=job.job_id: _on_arrival(job_id))
+
+    try:
+        queue.run(max_events=max_events)
+    except RuntimeError as exc:
+        raise RuntimeError("cluster simulation did not converge") from exc
+    if len(finish) != len(jobs):
+        missing = sorted(set(job_by_id) - set(finish))
+        raise RuntimeError(
+            f"cluster simulation drained its event queue with unfinished "
+            f"jobs {missing}")
+
+    job_results: List[JobResult] = []
+    for job in jobs:
+        done = finish[job.job_id]
+        isolated = (spec.rounds * spec.compute
+                    + spec.rounds * isolated_comm[job.job_id])
+        elapsed = done - job.arrival
+        slowdown = elapsed / isolated if isolated > 0 else 1.0
+        job_results.append(JobResult(
+            job_id=job.job_id,
+            name=job.name,
+            arrival=job.arrival,
+            finish=done,
+            isolated_seconds=isolated,
+            slowdown=slowdown,
+            phase_spans=tuple((str(kind), float(start), float(end))
+                              for kind, start, end in spans[job.job_id]),
+        ))
+
+    first_arrival = min(job.arrival for job in jobs)
+    makespan = max(finish.values()) - first_arrival
+    capacity = injector.link_capacity_total
+    utilization = (injector.link_bytes / (capacity * makespan)
+                   if makespan > 0 and capacity > 0 else 0.0)
+    fill_rounds = int(state["fill_rounds"])
+    record_simulation(fill_rounds, queue.processed)
+    return ClusterResult(
+        jobs=job_results,
+        makespan_seconds=makespan,
+        fabric_utilization=utilization,
+        fill_rounds=fill_rounds,
+        events=queue.processed,
+        meta={
+            "spec": spec.canonical(),
+            "placement": spec.placement,
+            "arrival": spec.arrival,
+            "num_jobs": len(jobs),
+            "rounds": spec.rounds,
+            "arrival_times": [job.arrival for job in jobs],
+        },
+    )

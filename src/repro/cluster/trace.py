@@ -1,0 +1,176 @@
+"""Cluster trace specifications: grammar, parsing and arrival processes.
+
+A *trace spec* is a compact string describing a multi-job workload::
+
+    cluster:jobs=8:arrival=poisson~200:placement=packed:seed=0
+
+Fields are ``key=value`` pairs, ``:``-separated, in any order after the
+``cluster`` prefix; ``~`` attaches a parameter to a value:
+
+- ``jobs=N`` — number of jobs (required, >= 1);
+- ``arrival=fixed~DT`` — job *j* arrives at ``j * DT`` seconds;
+  ``arrival=poisson~RATE`` — Poisson process with ``RATE`` arrivals/second,
+  drawn from a ``seed``-keyed RNG; ``arrival=trace~T0|T1|...`` — explicit
+  non-decreasing arrival times (exactly ``jobs`` values);
+- ``placement=packed|spread|random`` — how each job's logical nodes map
+  onto physical topology nodes (see :mod:`.placement`);
+- ``seed=S`` — RNG seed for Poisson arrivals and random placement;
+- ``rounds=K`` — compute+comm rounds per job;
+- ``compute=SEC`` — seconds of compute before each comm phase;
+- ``buffer=BYTES`` — per-node all-to-all buffer per comm phase (defaults
+  to the scenario's first ``buffers`` entry when omitted).
+
+Defaults: ``arrival=fixed~0`` (every job at t=0), ``placement=packed``,
+``seed=0``, ``rounds=1``, ``compute=0``.  Parsing is strict — unknown or
+duplicate keys raise ``ValueError`` — and :meth:`ClusterSpec.canonical` is
+parameter-order invariant, so equivalent spellings hash identically in the
+scenario layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ClusterSpec", "parse_cluster_spec", "arrival_times",
+           "PLACEMENT_POLICIES"]
+
+PLACEMENT_POLICIES = ("packed", "spread", "random")
+
+_KNOWN_KEYS = frozenset(
+    {"jobs", "arrival", "placement", "seed", "rounds", "compute", "buffer"})
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A parsed cluster trace: job count, arrival process, placement, knobs.
+
+    ``rate`` is the arrival parameter — arrivals/second for ``poisson``,
+    inter-arrival seconds for ``fixed``, unused (0.0) for ``trace`` where
+    ``times`` carries the explicit arrival instants instead.
+    """
+
+    jobs: int
+    arrival: str                      # "fixed" | "poisson" | "trace"
+    rate: float
+    times: Tuple[float, ...]
+    placement: str
+    seed: int
+    rounds: int
+    compute: float
+    buffer: Optional[float]
+
+    def canonical(self) -> Tuple[object, ...]:
+        """Parameter-order-invariant tuple used for scenario content hashing."""
+        return ("cluster", self.jobs, self.arrival, float(self.rate),
+                tuple(float(t) for t in self.times), self.placement,
+                self.seed, self.rounds, float(self.compute),
+                None if self.buffer is None else float(self.buffer))
+
+
+def parse_cluster_spec(spec: str) -> ClusterSpec:
+    """Parse a ``cluster:...`` trace spec string into a :class:`ClusterSpec`."""
+    text = str(spec).strip()
+    parts = text.split(":")
+    if parts[0].strip().lower() != "cluster":
+        raise ValueError(
+            f"cluster spec must start with 'cluster:', got {spec!r}")
+    fields = {}
+    for part in parts[1:]:
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"cluster spec field {part!r} is not key=value (in {spec!r})")
+        key, value = part.split("=", 1)
+        key = key.strip().lower()
+        if key in fields:
+            raise ValueError(f"duplicate cluster spec key {key!r} in {spec!r}")
+        fields[key] = value.strip()
+    unknown = sorted(set(fields) - _KNOWN_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown cluster spec key(s) {unknown} in {spec!r}; "
+            f"known keys: {sorted(_KNOWN_KEYS)}")
+    if "jobs" not in fields:
+        raise ValueError(f"cluster spec needs jobs=N (got {spec!r})")
+    jobs = int(fields["jobs"])
+    if jobs < 1:
+        raise ValueError(f"cluster spec needs jobs >= 1, got {jobs}")
+
+    arrival_text = fields.get("arrival", "fixed~0")
+    kind, _, param = arrival_text.partition("~")
+    kind = kind.strip().lower()
+    times: Tuple[float, ...] = ()
+    rate = 0.0
+    if kind == "fixed":
+        rate = float(param) if param else 0.0
+        if rate < 0:
+            raise ValueError(f"fixed inter-arrival must be >= 0, got {rate}")
+    elif kind == "poisson":
+        if not param:
+            raise ValueError(
+                "poisson arrivals need a rate: arrival=poisson~RATE")
+        rate = float(param)
+        if rate <= 0:
+            raise ValueError(f"poisson rate must be > 0, got {rate}")
+    elif kind == "trace":
+        if not param:
+            raise ValueError(
+                "trace arrivals need times: arrival=trace~T0|T1|...")
+        times = tuple(float(t) for t in param.split("|"))
+        if len(times) != jobs:
+            raise ValueError(
+                f"trace lists {len(times)} arrival times for jobs={jobs}")
+        if any(t < 0 for t in times):
+            raise ValueError("trace arrival times must be >= 0")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace arrival times must be non-decreasing")
+    else:
+        raise ValueError(
+            f"unknown arrival process {kind!r}; "
+            "expected fixed~DT, poisson~RATE or trace~T0|T1|...")
+
+    placement = fields.get("placement", "packed").lower()
+    if placement not in PLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown placement {placement!r}; expected one of "
+            f"{PLACEMENT_POLICIES}")
+    seed = int(fields.get("seed", "0"))
+    rounds = int(fields.get("rounds", "1"))
+    if rounds < 1:
+        raise ValueError(f"cluster spec needs rounds >= 1, got {rounds}")
+    compute = float(fields.get("compute", "0"))
+    if compute < 0:
+        raise ValueError(f"compute seconds must be >= 0, got {compute}")
+    buffer = None
+    if "buffer" in fields:
+        buffer = float(fields["buffer"])
+        if buffer <= 0:
+            raise ValueError(f"buffer bytes must be > 0, got {buffer}")
+
+    return ClusterSpec(jobs=jobs, arrival=kind, rate=rate, times=times,
+                       placement=placement, seed=seed, rounds=rounds,
+                       compute=compute, buffer=buffer)
+
+
+def arrival_times(spec: ClusterSpec) -> Tuple[float, ...]:
+    """Arrival instant of every job, deterministically from the spec.
+
+    ``fixed`` spaces jobs ``rate`` seconds apart starting at 0; ``poisson``
+    accumulates seeded exponential inter-arrivals (same seed → identical
+    times on every run); ``trace`` returns the explicit times verbatim.
+    """
+    if spec.arrival == "trace":
+        return spec.times
+    if spec.arrival == "fixed":
+        return tuple(j * spec.rate for j in range(spec.jobs))
+    rng = random.Random(spec.seed)
+    now = 0.0
+    out = []
+    for _ in range(spec.jobs):
+        now += rng.expovariate(spec.rate)
+        out.append(now)
+    return tuple(out)

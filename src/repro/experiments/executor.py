@@ -82,6 +82,7 @@ class ExecutorStats:
         return sum(self.completed) / self.elapsed_seconds
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (the ``--workers`` stats footer)."""
         return {"workers": self.workers, "completed": list(self.completed),
                 "steals": self.steals, "shared_hits": self.shared_hits,
                 "shared_misses": self.shared_misses,
@@ -392,8 +393,10 @@ def merge_shards(out_path: str, shard_dir: str) -> int:
     from .sweep import load_results
 
     def rank(rec: Dict[str, object]) -> Tuple[int, int]:
-        # ok beats error; among ok records the deepest pipeline run wins (a
-        # simulate re-run must displace a stale synthesize-only record).
+        """Dedup preference: ok beats error, deeper pipeline beats shallower.
+
+        A simulate re-run must displace a stale synthesize-only record.
+        """
         ok = 1 if rec.get("status") == "ok" else 0
         through = rec.get("through")
         return ok, STAGES.index(through) if through in STAGES else -1

@@ -122,6 +122,7 @@ class PlanResult:
     lowered: object = None                    # lower artifact (schedule IR)
     validated: bool = False
     sim_results: Optional[List[CollectiveResult]] = None
+    cluster_result: object = None             # ClusterResult for cluster traces
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_cache: Dict[str, str] = field(default_factory=dict)  # stage -> hit/miss/off
 
@@ -242,6 +243,14 @@ class Plan:
                 validate_routed_schedule(lowered)
             return True
         # simulate
+        if scenario.cluster is not None:
+            from ..cluster import run_cluster  # lazy: cluster imports simulator
+
+            default_buffer = scenario.buffers[0] if scenario.buffers else None
+            return run_cluster(self.result.lowered, scenario.cluster,
+                               fabric=scenario.resolved_fabric(),
+                               default_buffer=default_buffer,
+                               validate=False)
         if not scenario.buffers:
             return []
         return throughput_sweep(self.result.lowered, list(scenario.buffers),
@@ -250,11 +259,16 @@ class Plan:
                                 overlap=scenario.overlap)
 
     def _install(self, stage: str, artifact: object) -> None:
+        from ..cluster import ClusterResult  # lazy: cluster imports simulator
+
         if stage == "synthesize":
             self.result.schedule = artifact
         elif stage == "lower":
             self.result.lowered = artifact
         elif stage == "validate":
             self.result.validated = bool(artifact)
+        elif isinstance(artifact, ClusterResult):
+            self.result.cluster_result = artifact
+            self.result.sim_results = []
         else:
             self.result.sim_results = list(artifact)

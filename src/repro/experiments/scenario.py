@@ -66,7 +66,9 @@ STAGES: Tuple[str, ...] = ("synthesize", "lower", "validate", "simulate")
 #: miss instead of serving incompatible artifacts.
 #: 2: simulate stage gained ``overlap``; fabric hashed by content minus the
 #:    cosmetic name, including the degraded-link fields.
-_SCENARIO_SCHEMA = 2
+#: 3: simulate stage gained ``cluster`` (multi-job trace specs, hashed by
+#:    their parsed canonical form so equivalent spellings share keys).
+_SCENARIO_SCHEMA = 3
 
 
 def scenario_schema_version() -> int:
@@ -182,7 +184,8 @@ _STAGE_FIELDS: Dict[str, Tuple[str, ...]] = {
 }
 _STAGE_FIELDS["lower"] = _STAGE_FIELDS["synthesize"] + ("max_denominator",)
 _STAGE_FIELDS["validate"] = _STAGE_FIELDS["lower"]
-_STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers", "overlap")
+_STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers", "overlap",
+                                                     "cluster")
 
 _SUPPORTED_WORKLOADS = ("alltoall",)
 
@@ -222,6 +225,14 @@ class Scenario:
         simulate stage (the overlapping-collectives axis); results carry
         per-collective completion times.  Part of the simulate stage key
         only, so overlap variants share their synthesized schedule.
+    cluster:
+        Optional multi-job trace spec (``"cluster:jobs=8:arrival=poisson~200:
+        placement=packed"``, see :mod:`repro.cluster.trace`).  When set, the
+        simulate stage runs the cluster co-simulation instead of the
+        throughput sweep.  Part of the simulate stage key only — hashed by
+        the parsed canonical form, so traces share synthesized schedules
+        and equivalent spellings share keys.  Mutually exclusive with
+        ``overlap > 1`` (a cluster trace already multiplexes the fabric).
     name:
         Cosmetic label for reports; excluded from hashing.
 
@@ -246,6 +257,7 @@ class Scenario:
     max_denominator: int = 64
     buffers: Tuple[float, ...] = ()
     overlap: int = 1
+    cluster: Optional[str] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -256,6 +268,14 @@ class Scenario:
             raise ValueError(f"forwarding must be auto/host/nic, got {self.forwarding!r}")
         if self.overlap < 1:
             raise ValueError(f"overlap must be >= 1, got {self.overlap}")
+        if self.cluster is not None:
+            from ..cluster.trace import parse_cluster_spec  # lazy: avoid cycle
+
+            if self.overlap > 1:
+                raise ValueError(
+                    "cluster traces and overlap > 1 are mutually exclusive: "
+                    "a cluster trace already multiplexes the fabric")
+            parse_cluster_spec(self.cluster)  # eager validation
         self.buffers = tuple(float(b) for b in self.buffers)
         self.scheme_params = dict(self.scheme_params)
         self._topology_obj: Optional[Topology] = (
@@ -314,6 +334,14 @@ class Scenario:
             if self.scheme == "auto":
                 return ("forwarding", self.resolved_forwarding().value)
             return ("forwarding", "ignored")
+        if fname == "cluster":
+            # Hash the parsed canonical form so key order / whitespace /
+            # default spelling differences in the trace spec share keys.
+            if value is None:
+                return ("cluster", None)
+            from ..cluster.trace import parse_cluster_spec  # lazy: avoid cycle
+
+            return ("cluster", parse_cluster_spec(value).canonical())
         return (fname, canonical_value(value))
 
     def stage_key(self, stage: str) -> str:
@@ -392,4 +420,6 @@ def _coerce_field(name: str, value: object) -> object:
     if name == "buffers":
         # ';'-separated because ',' separates axis values in the CLI.
         return tuple(float(x) for x in value.replace(";", " ").split() if x)
+    if name == "cluster":
+        return None if value.lower() in ("", "none") else value
     return value

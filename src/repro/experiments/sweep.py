@@ -11,7 +11,7 @@ an ``ok`` record.
 Record schema (one JSON object per line)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "key": "<scenario content digest>",
       "label": "hypercube:dim=3/mcf-extp",
       "status": "ok" | "error",
@@ -32,6 +32,11 @@ Record schema (one JSON object per line)::
 
 ``metrics`` keys are omitted when a scheme does not define them (e.g. the
 TACCL surrogate emits schedule IR directly, so it has no LP flow value).
+Cluster-trace scenarios (``Scenario.cluster``) replace the throughput
+series with cluster metrics: ``cluster_jobs``, ``makespan_seconds``,
+``fabric_utilization``, ``job_slowdown_p50``/``job_slowdown_p99``, plus the
+per-job ``job_slowdowns``/``job_completion_seconds`` mappings keyed by job
+id.
 """
 
 from __future__ import annotations
@@ -188,6 +193,25 @@ def metrics_from_plan(result: PlanResult) -> Dict[str, object]:
             metrics["overlap_completion_seconds"] = {
                 str(int(r.buffer_bytes)): list(r.per_collective_seconds)
                 for r in result.sim_results}
+    cluster = result.cluster_result
+    if cluster is not None:
+        import numpy as np
+
+        slowdowns = [job.slowdown for job in cluster.jobs]
+        metrics["cluster_jobs"] = len(cluster.jobs)
+        metrics["makespan_seconds"] = float(cluster.makespan_seconds)
+        metrics["fabric_utilization"] = float(cluster.fabric_utilization)
+        metrics["job_slowdown_p50"] = float(np.percentile(slowdowns, 50))
+        metrics["job_slowdown_p99"] = float(np.percentile(slowdowns, 99))
+        # Per-job mappings keyed by job id (dicts, not lists: the record
+        # validator requires scalar-or-mapping metric values).
+        metrics["job_slowdowns"] = {
+            str(job.job_id): float(job.slowdown) for job in cluster.jobs}
+        metrics["job_completion_seconds"] = {
+            str(job.job_id): float(job.completion_seconds)
+            for job in cluster.jobs}
+        metrics["sim_fill_rounds"] = int(cluster.fill_rounds)
+        metrics["sim_events"] = int(cluster.events)
     return metrics
 
 

@@ -38,7 +38,8 @@ from .aggregate import (
 
 __all__ = ["SeriesSpec", "PanelSpec", "PanelData", "ArtifactSpec",
            "ThroughputFigureSpec", "run_panel", "REGISTRY", "available_specs",
-           "get_spec", "FIG3", "FIG4", "FIG7", "FIG10", "TABLE1"]
+           "get_spec", "FIG3", "FIG4", "FIG7", "FIG10", "FIG_CLUSTER",
+           "TABLE1"]
 
 #: Fixed categorical series colors (validated light-mode palette) — assigned
 #: by *label* from each spec's canonical label order, never by position in a
@@ -610,17 +611,123 @@ class _Fig10Spec(ArtifactSpec):
 
 
 # --------------------------------------------------------------------------- #
+# fig_cluster — multi-job slowdown vs offered load (cluster co-simulation)
+# --------------------------------------------------------------------------- #
+class _FigClusterSpec(ArtifactSpec):
+    """Cluster co-simulation: per-job slowdown versus Poisson offered load.
+
+    One panel per arrival rate, all sharing a single synthesized MCF-extP
+    schedule (the cluster trace enters the simulate stage key only).  The
+    aggregate is a slowdown-vs-load curve: p50/p99 job slowdown against the
+    Poisson arrival rate, plus a table carrying makespan and time-weighted
+    fabric utilization per load point.
+    """
+
+    spec_id = "fig_cluster"
+    title = "Cluster co-simulation: job slowdown vs offered load"
+    description = ("Six-job Poisson traces (packed placement) co-simulated "
+                   "over one MCF-extP hypercube schedule at increasing "
+                   "arrival rates; per-job slowdown is measured against the "
+                   "same job running alone on the fabric (docs/cluster.md).")
+    headline = "packed"
+    label_order = ("packed",)
+    _TOPOLOGY = "hypercube:dim=3"
+    _JOBS = 6
+    _BUF = 2 ** 20
+
+    def buffers(self, fast: bool = False):
+        return (self._BUF,)
+
+    def rates(self, fast: bool = False) -> Tuple[int, ...]:
+        """Poisson arrival rates (jobs/second) swept as panels."""
+        return (500, 8000) if fast else (500, 2000, 8000, 32000)
+
+    def _trace(self, key: str) -> str:
+        rate = int(key[len("rate"):])
+        return (f"cluster:jobs={self._JOBS}:arrival=poisson~{rate}"
+                ":placement=packed:seed=0")
+
+    def panels(self, fast: bool = False, scale: str = "small"):
+        return tuple(
+            PanelSpec(f"rate{rate}", f"Poisson {rate}/s", self._TOPOLOGY,
+                      (SeriesSpec("packed", "mcf-extp"),))
+            for rate in self.rates(fast))
+
+    def scenario(self, panel: PanelSpec, series: SeriesSpec,
+                 buffers: Sequence[float]) -> Scenario:
+        """Panel scenarios carry the panel's cluster trace spec."""
+        return Scenario(
+            topology=panel.topology,
+            fabric=series.fabric or self.fabric,
+            scheme=series.scheme,
+            scheme_params=dict(series.scheme_params),
+            host_bandwidth=panel.host_bandwidth,
+            max_denominator=self.max_denominator,
+            buffers=tuple(buffers),
+            cluster=self._trace(panel.key),
+            name=self.scenario_name(panel, series.label),
+        )
+
+    def aggregate_panel(self, panel, results_by_label):
+        # Panels contribute rows to the cross-panel load curve built in
+        # aggregate(); no per-panel artifacts.
+        return [], [], {}
+
+    def aggregate(self, results, fast: bool = False) -> SpecResult:
+        out = super().aggregate(results, fast)
+        if out.errors:
+            return out
+        by_name = {r.scenario.name: r for r in results}
+        rows = []
+        rates: List[float] = []
+        p50s: List[float] = []
+        p99s: List[float] = []
+        for panel in self.panels(fast):
+            res = by_name[self.scenario_name(panel, "packed")]
+            metrics = res.metrics
+            rate = int(panel.key[len("rate"):])
+            rates.append(float(rate))
+            p50s.append(float(metrics["job_slowdown_p50"]))
+            p99s.append(float(metrics["job_slowdown_p99"]))
+            rows.append([
+                rate,
+                int(metrics["cluster_jobs"]),
+                f"{float(metrics['makespan_seconds']):.6f}",
+                f"{float(metrics['job_slowdown_p50']):.3f}",
+                f"{float(metrics['job_slowdown_p99']):.3f}",
+                f"{float(metrics['fabric_utilization']):.3f}",
+            ])
+        out.tables.append(make_table(
+            "cluster", f"Cluster co-simulation ({self._JOBS} Poisson jobs, "
+                       f"packed, {self._TOPOLOGY}, MCF-extP)",
+            ["arrival rate (jobs/s)", "jobs", "makespan (s)", "slowdown p50",
+             "slowdown p99", "fabric utilization"], rows))
+        out.plots.append(Plot(
+            name="fig_cluster_slowdown", title=self.title,
+            x_label="offered load (job arrivals/s)",
+            y_label="job slowdown (vs isolated run)",
+            x=rates,
+            series={"slowdown p50": p50s, "slowdown p99": p99s},
+            colors={"slowdown p50": self.series_color("packed"),
+                    "slowdown p99": CATEGORICAL[1]},
+            logx=True))
+        return out
+
+
+# --------------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------------- #
 FIG3 = _Fig3Spec()
 FIG4 = _Fig4Spec()
 FIG7 = _Fig7Spec()
 FIG10 = _Fig10Spec()
+FIG_CLUSTER = _FigClusterSpec()
 TABLE1 = _Table1Spec()
 
 #: Artifact id -> spec, in report order.
 REGISTRY: Dict[str, ArtifactSpec] = {
-    spec.spec_id: spec for spec in (FIG3, FIG4, FIG7, FIG10, TABLE1)}
+    spec.spec_id: spec
+    for spec in (FIG3, FIG4, FIG7, FIG10, FIG_CLUSTER, TABLE1)}
 
 
 def available_specs() -> List[str]:

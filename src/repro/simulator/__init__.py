@@ -25,6 +25,8 @@ from .engine import (
     compile_flows,
     engine_counters,
     execute,
+    fill_rates,
+    record_simulation,
     reset_engine_counters,
     simulate_program,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "compile_flows",
     "engine_counters",
     "execute",
+    "fill_rates",
+    "record_simulation",
     "reset_engine_counters",
     "simulate_program",
     "Event",

@@ -49,8 +49,8 @@ from .events import EventQueue
 from .fabric import FabricModel
 
 __all__ = ["FluidFlow", "FlowProgram", "EngineResult", "compile_flows",
-           "execute", "simulate_program", "engine_counters",
-           "reset_engine_counters"]
+           "execute", "fill_rates", "simulate_program", "engine_counters",
+           "record_simulation", "reset_engine_counters"]
 
 
 @dataclass
@@ -101,6 +101,16 @@ def _count(fill_rounds: int, events: int) -> None:
         _counters["fill_rounds"] += fill_rounds
         _counters["events"] += events
         _counters["simulations"] += 1
+
+
+def record_simulation(fill_rounds: int, events: int) -> None:
+    """Credit one externally-driven simulation to the engine counters.
+
+    Drivers that run the fill loop themselves (e.g. the cluster runner,
+    which interleaves flow injection with saturation rounds) use this so
+    their work shows up in the same ``[stats]`` footer as :func:`execute`.
+    """
+    _count(fill_rounds, events)
 
 
 # --------------------------------------------------------------------------- #
@@ -231,7 +241,7 @@ def compile_flows(topology: Topology, flows: Sequence[FluidFlow],
 # --------------------------------------------------------------------------- #
 # Vectorized progressive filling
 # --------------------------------------------------------------------------- #
-def _fill_rates(program: FlowProgram, active: np.ndarray) -> Tuple[np.ndarray, int]:
+def fill_rates(program: FlowProgram, active: np.ndarray) -> Tuple[np.ndarray, int]:
     """Max-min fair rates for the active flows, as numpy saturation rounds.
 
     Each round: count unfrozen users per resource (one ``bincount``), take
@@ -322,7 +332,7 @@ def execute(program: FlowProgram, max_events: int = 1_000_000) -> EngineResult:
     def refill_and_schedule() -> None:
         if not active.any():
             return
-        rates, rounds = _fill_rates(program, active)
+        rates, rounds = fill_rates(program, active)
         state["rates"] = rates
         state["fill_rounds"] += rounds
         eligible = active & (rates > SIM_EPS)

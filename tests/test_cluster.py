@@ -1,0 +1,267 @@
+"""Tests for the multi-job cluster co-simulation layer (``repro.cluster``).
+
+Covers the trace-spec grammar, placement permutations, barrier ordering,
+the zero-contention differential against the single-collective engine,
+seeded determinism of Poisson traces, and the cluster axis of the
+declarative scenario/sweep stack (hash stability, record metrics).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    PLACEMENT_POLICIES,
+    arrival_times,
+    jobs_from_spec,
+    parse_cluster_spec,
+    placement_permutation,
+    run_cluster,
+)
+from repro.experiments import Scenario
+from repro.simulator import cerio_hpc_fabric, run_routed_collective
+
+BUF = float(2 ** 20)
+
+
+# --------------------------------------------------------------------------- #
+# Trace-spec grammar
+# --------------------------------------------------------------------------- #
+class TestTraceSpec:
+    def test_defaults(self):
+        spec = parse_cluster_spec("cluster:jobs=4")
+        assert spec.jobs == 4
+        assert spec.arrival == "fixed" and spec.rate == 0.0
+        assert spec.placement == "packed"
+        assert spec.seed == 0 and spec.rounds == 1 and spec.compute == 0.0
+        assert spec.buffer is None
+
+    def test_full_spec_round_trips_canonically(self):
+        a = parse_cluster_spec("cluster:jobs=8:arrival=poisson~0.1"
+                               ":placement=spread:seed=7:rounds=2"
+                               ":compute=0.5:buffer=1048576")
+        b = parse_cluster_spec("cluster:buffer=1048576:compute=0.5:rounds=2"
+                               ":seed=7:placement=spread"
+                               ":arrival=poisson~0.1:jobs=8")
+        assert a == b
+        assert a.canonical() == b.canonical()
+
+    def test_trace_arrivals_verbatim(self):
+        spec = parse_cluster_spec("cluster:jobs=3:arrival=trace~0|0.5|2.25")
+        assert arrival_times(spec) == (0.0, 0.5, 2.25)
+
+    def test_fixed_arrivals_are_multiples(self):
+        spec = parse_cluster_spec("cluster:jobs=3:arrival=fixed~2.0")
+        assert arrival_times(spec) == (0.0, 2.0, 4.0)
+
+    def test_poisson_arrivals_seeded(self):
+        spec = parse_cluster_spec("cluster:jobs=6:arrival=poisson~10:seed=3")
+        first = arrival_times(spec)
+        assert first == arrival_times(spec)  # same seed, same draw
+        other = parse_cluster_spec("cluster:jobs=6:arrival=poisson~10:seed=4")
+        assert first != arrival_times(other)
+        assert all(b >= a for a, b in zip(first, first[1:]))  # cumulative
+
+    @pytest.mark.parametrize("bad", [
+        "overlap:jobs=4",                       # wrong prefix
+        "cluster",                              # jobs missing
+        "cluster:arrival=poisson~1",            # jobs missing
+        "cluster:jobs=0",                       # jobs < 1
+        "cluster:jobs=4:arrival=poisson~0",     # rate must be > 0
+        "cluster:jobs=4:arrival=uniform~1",     # unknown process
+        "cluster:jobs=2:arrival=trace~0",       # one time for two jobs
+        "cluster:jobs=2:arrival=trace~3|1",     # decreasing times
+        "cluster:jobs=4:placement=diagonal",    # unknown policy
+        "cluster:jobs=4:rounds=0",              # rounds < 1
+        "cluster:jobs=4:compute=-1",            # negative compute
+        "cluster:jobs=4:buffer=0",              # buffer must be > 0
+        "cluster:jobs=4:jobs=5",                # duplicate key
+        "cluster:jobs=4:flavor=mild",           # unknown key
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_cluster_spec(bad)
+
+    def test_jobs_from_spec_requires_a_buffer(self):
+        spec = parse_cluster_spec("cluster:jobs=2")
+        with pytest.raises(ValueError):
+            jobs_from_spec(spec)
+        jobs = jobs_from_spec(spec, default_buffer=BUF)
+        assert len(jobs) == 2
+        # rounds=1, compute=0 -> one compute phase and one comm phase each
+        assert all(len(job.phases) == 2 for job in jobs)
+
+
+# --------------------------------------------------------------------------- #
+# Placement
+# --------------------------------------------------------------------------- #
+class TestPlacement:
+    def test_packed_is_identity(self):
+        assert placement_permutation("packed", 3, 8, 4) == tuple(range(8))
+
+    def test_spread_rotates_per_job(self):
+        p0 = placement_permutation("spread", 0, 8, 4)
+        p1 = placement_permutation("spread", 1, 8, 4)
+        assert p0 == tuple(range(8))
+        assert p1 == tuple((i + 2) % 8 for i in range(8))  # 8 // 4 = 2 stride
+
+    def test_random_is_a_seeded_permutation(self):
+        p = placement_permutation("random", 2, 8, 4, seed=5)
+        assert sorted(p) == list(range(8))
+        assert p == placement_permutation("random", 2, 8, 4, seed=5)
+        assert p != placement_permutation("random", 2, 8, 4, seed=6)
+
+    def test_policies_exported(self):
+        assert set(PLACEMENT_POLICIES) == {"packed", "spread", "random"}
+        with pytest.raises(ValueError):
+            placement_permutation("diagonal", 0, 8, 4)
+
+
+# --------------------------------------------------------------------------- #
+# Co-simulation semantics
+# --------------------------------------------------------------------------- #
+class TestRunCluster:
+    def test_link_schedule_rejected(self, cube3_link_schedule):
+        with pytest.raises(ValueError, match="routed"):
+            run_cluster(cube3_link_schedule, "cluster:jobs=2",
+                        default_buffer=BUF)
+
+    def test_zero_contention_matches_isolated_engine(
+            self, genkautz_routed_schedule):
+        """A lone job must complete exactly like the single-collective run."""
+        fabric = cerio_hpc_fabric()
+        isolated = run_routed_collective(genkautz_routed_schedule, BUF,
+                                         fabric=fabric)
+        result = run_cluster(genkautz_routed_schedule, "cluster:jobs=1",
+                             fabric=fabric, default_buffer=BUF)
+        job = result.jobs[0]
+        assert job.completion_seconds == pytest.approx(
+            isolated.completion_time, abs=1e-9)
+        assert job.slowdown == pytest.approx(1.0, abs=1e-9)
+
+    def test_spaced_arrivals_have_unit_slowdown(self, genkautz_routed_schedule):
+        """Arrivals far apart never share the fabric: slowdown stays 1."""
+        result = run_cluster(genkautz_routed_schedule,
+                             "cluster:jobs=3:arrival=fixed~10",
+                             default_buffer=BUF)
+        for job in result.jobs:
+            assert job.slowdown == pytest.approx(1.0, abs=1e-9)
+        assert result.makespan_seconds > 20.0  # last arrival at t=20
+
+    def test_contention_slows_jobs_down(self, genkautz_routed_schedule):
+        """Simultaneous arrivals share bandwidth; slowdown must exceed 1."""
+        result = run_cluster(genkautz_routed_schedule, "cluster:jobs=4",
+                             default_buffer=BUF)
+        assert all(job.slowdown > 1.0 + 1e-6 for job in result.jobs)
+        assert 0.0 < result.fabric_utilization <= 1.0 + 1e-9
+
+    def test_barriers_order_phase_spans(self, genkautz_routed_schedule):
+        result = run_cluster(
+            genkautz_routed_schedule,
+            "cluster:jobs=2:rounds=2:compute=0.001",
+            default_buffer=BUF)
+        for job in result.jobs:
+            kinds = [kind for kind, _, _ in job.phase_spans]
+            assert kinds == ["compute", "comm", "compute", "comm"]
+            previous_end = job.arrival
+            for kind, start, end in job.phase_spans:
+                assert start == pytest.approx(previous_end, abs=1e-12)
+                assert end >= start
+                previous_end = end
+            assert previous_end == pytest.approx(job.finish, abs=1e-12)
+            compute_spans = [s for s in job.phase_spans if s[0] == "compute"]
+            for _, start, end in compute_spans:
+                assert end - start == pytest.approx(0.001, abs=1e-12)
+
+    def test_seeded_poisson_run_is_deterministic(self, genkautz_routed_schedule):
+        """Same seed -> byte-identical result payload across fresh runs."""
+        trace = "cluster:jobs=5:arrival=poisson~2000:seed=11"
+
+        def payload():
+            result = run_cluster(genkautz_routed_schedule, trace,
+                                 default_buffer=BUF)
+            return json.dumps({
+                "slowdowns": result.slowdowns,
+                "makespan": result.makespan_seconds,
+                "utilization": result.fabric_utilization,
+                "spans": [job.phase_spans for job in result.jobs],
+                "meta": {k: v for k, v in result.meta.items()},
+            }, sort_keys=True)
+
+        assert payload() == payload()
+
+    def test_placement_changes_outcome_but_stays_valid(
+            self, genkautz_routed_schedule):
+        for policy in PLACEMENT_POLICIES:
+            result = run_cluster(
+                genkautz_routed_schedule,
+                f"cluster:jobs=3:placement={policy}:seed=2",
+                default_buffer=BUF)
+            assert len(result.jobs) == 3
+            assert all(job.slowdown >= 1.0 - 1e-9 for job in result.jobs)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario / sweep integration
+# --------------------------------------------------------------------------- #
+class TestClusterScenario:
+    TRACE = "cluster:jobs=4:arrival=poisson~2000:placement=packed:seed=0"
+
+    def _scenario(self, trace=TRACE, **kwargs):
+        return Scenario(topology="genkautz:d=3,n=10", scheme="mcf-extp",
+                        buffers=(BUF,), cluster=trace, **kwargs)
+
+    def test_hash_is_param_order_invariant(self):
+        reordered = ("cluster:seed=0:placement=packed"
+                     ":arrival=poisson~2000:jobs=4")
+        assert self._scenario().key() == self._scenario(trace=reordered).key()
+
+    def test_cluster_only_affects_simulate_stage(self):
+        with_cluster = self._scenario()
+        without = Scenario(topology="genkautz:d=3,n=10", scheme="mcf-extp",
+                           buffers=(BUF,))
+        assert (with_cluster.stage_key("synthesize")
+                == without.stage_key("synthesize"))
+        assert (with_cluster.stage_key("lower") == without.stage_key("lower"))
+        assert (with_cluster.stage_key("simulate")
+                != without.stage_key("simulate"))
+
+    def test_different_traces_hash_differently(self):
+        other = self._scenario(trace=self.TRACE.replace("seed=0", "seed=1"))
+        assert self._scenario().key() != other.key()
+
+    def test_invalid_trace_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            self._scenario(trace="cluster:jobs=0")
+
+    def test_cluster_excludes_overlap(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self._scenario(overlap=2)
+
+    def test_sweep_record_carries_cluster_metrics(self, tmp_path):
+        from repro.experiments import run_sweep
+
+        out = tmp_path / "cluster.jsonl"
+        summaries = run_sweep([self._scenario()], str(out))
+        assert len(summaries) == 1 and summaries[0].status == "ok"
+        (record,) = [json.loads(line) for line in out.open()]
+        metrics = record["metrics"]
+        assert metrics["cluster_jobs"] == 4
+        assert metrics["makespan_seconds"] > 0
+        assert metrics["job_slowdown_p50"] >= 1.0 - 1e-9
+        assert metrics["job_slowdown_p99"] >= metrics["job_slowdown_p50"]
+        assert 0.0 < metrics["fabric_utilization"] <= 1.0 + 1e-9
+        assert set(metrics["job_slowdowns"]) == {"0", "1", "2", "3"}
+        assert set(metrics["job_completion_seconds"]) == {"0", "1", "2", "3"}
+        assert metrics["sim_fill_rounds"] >= 1 and metrics["sim_events"] >= 1
+        assert record["scenario"]["cluster"] == self.TRACE
+
+    def test_fig_cluster_registered(self):
+        from repro.report import REGISTRY
+
+        spec = REGISTRY["fig_cluster"]
+        scenarios = spec.scenarios(fast=True)
+        assert scenarios  # fast grid is non-empty
+        assert all(s.cluster is not None and s.cluster.startswith("cluster:")
+                   for s in scenarios)
+        assert all(s.name.startswith("fig_cluster/") for s in scenarios)

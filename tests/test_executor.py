@@ -69,7 +69,7 @@ def _write_shard(shard_dir, name, records, torn=False):
 
 def _rec(key, status="ok", through="simulate", **extra):
     rec = {"key": key, "status": status, "through": through,
-           "schema_version": 2, "scenario": {}, "metrics": {"f": 1.0}}
+           "schema_version": 3, "scenario": {}, "metrics": {"f": 1.0}}
     rec.update(extra)
     return rec
 
