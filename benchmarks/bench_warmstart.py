@@ -1,0 +1,89 @@
+"""Warm-started LP family benchmark: batched multi-RHS vs cold scipy solves.
+
+Solves a 16-point degraded-fabric family — the link-based MCF on one
+topology with uniformly scaled link capacities, the LP shape produced by
+``hpc:scale=...`` degradation sweeps and bandwidth axes — twice:
+
+* **cold**: 16 independent ``Engine.solve`` calls through the default
+  scipy/HiGHS backend with caching off (the pre-batching behaviour);
+* **family**: one :func:`repro.perf.solve_family` call, which solves the
+  first member cold and derives the rest by LP homogeneity (uniform RHS
+  scaling of an identical constraint structure), warm-starting through the
+  ``highs-native`` backend where ``highspy`` is installed.
+
+Asserted acceptance gates:
+
+* every family member's optimum matches its cold solve (rel 1e-6);
+* the family path is at least 2x faster than the cold path.
+
+Machine-readable output lands in ``results/BENCH_warmstart.json``
+(``objective`` is the first member's concurrent flow value F).  The CI
+``perf-kernels`` job gates it against ``benchmarks/baseline_warmstart.json``
+via ``check_regression.py``.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.engine import Engine, MCFProblem, SolutionCache
+from repro.perf import solve_family
+from repro.topology import random_regular
+
+MIN_FAMILY_SPEEDUP = 2.0
+FAMILY_POINTS = 16
+
+
+def _family_problems(scale):
+    """16 uniformly degraded copies of one link-MCF (scales 1.0 down to 0.25)."""
+    n = 16 if scale == "paper" else 12
+    base = random_regular(3, n, seed=7)
+    scales = [1.0 - 0.05 * i for i in range(FAMILY_POINTS)]
+    return [MCFProblem("mcf-link", base.with_capacity(s), maximize=True)
+            for s in scales]
+
+
+def test_warmstart_family_speedup(record, record_json, scale):
+    """16-point degraded family: batched path >= 2x cold, identical optima."""
+    problems = _family_problems(scale)
+    engine = Engine(cache=SolutionCache(enabled=False))
+
+    start = time.perf_counter()
+    cold = [engine.solve(p, use_cache=False) for p in problems]
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    family, stats = solve_family(problems, engine=engine, use_cache=False)
+    family_seconds = time.perf_counter() - start
+
+    for cold_sol, family_sol in zip(cold, family):
+        delta = abs(family_sol.objective - cold_sol.objective)
+        assert delta <= 1e-6 * max(1.0, abs(cold_sol.objective)), (
+            f"family optimum drifted: {family_sol.objective!r} vs "
+            f"{cold_sol.objective!r}")
+
+    speedup = cold_seconds / family_seconds
+    series = {
+        "cold-scipy": {FAMILY_POINTS: {
+            "solve_seconds": cold_seconds,
+            "objective": cold[0].objective,
+        }},
+        "family-batched": {FAMILY_POINTS: {
+            "solve_seconds": family_seconds,
+            "lp_solves": stats["solves"],
+            "rhs_scaled": stats["scaled"],
+            "objective": family[0].objective,
+        }},
+    }
+    record_json("warmstart", series)
+    record("warmstart", format_table(
+        ["path", "16 solves (s)", "LP solves", "speedup"],
+        [["cold scipy", cold_seconds, len(problems), 1.0],
+         ["family (warm/scaled)", family_seconds, stats["solves"], speedup]],
+        title=(f"Warm-started degraded family: mcf-link x {FAMILY_POINTS} "
+               f"capacity scales on rrg:d=3 "
+               f"(backend={engine.backend_name})")))
+
+    assert stats["solves"] == 1 and stats["scaled"] == FAMILY_POINTS - 1
+    assert speedup >= MIN_FAMILY_SPEEDUP, (
+        f"family path only {speedup:.1f}x faster than cold solves "
+        f"(gate: {MIN_FAMILY_SPEEDUP:.0f}x)")

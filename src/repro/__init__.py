@@ -16,6 +16,7 @@ from . import (
     engine,
     experiments,
     paths,
+    perf,
     report,
     routing,
     schedule,
@@ -24,7 +25,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "analysis",
@@ -34,6 +35,7 @@ __all__ = [
     "engine",
     "experiments",
     "paths",
+    "perf",
     "report",
     "routing",
     "schedule",

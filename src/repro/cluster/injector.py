@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..constants import SIM_BYTES_EPS
+from ..perf.fillkernel import FillWorkspace
 from ..simulator.engine import FlowProgram, FluidFlow, compile_flows, fill_rates
 from ..simulator.fabric import FabricModel
 from ..topology.base import Topology
@@ -46,6 +47,8 @@ class FlowInjector:
         self._inc_res = np.zeros(0, dtype=np.int64)
         self._inc_flow = np.zeros(0, dtype=np.int64)
         self._set_names: List[str] = []
+        self._program: Optional[FlowProgram] = None
+        self._workspace: Optional[FillWorkspace] = None
 
     @property
     def num_flows(self) -> int:
@@ -87,25 +90,49 @@ class FlowInjector:
         link_entries = compiled.inc_res < self.num_links
         self.link_bytes += float(
             compiled.sizes[compiled.inc_flow[link_entries]].sum())
+        self._invalidate()
         return set_id
 
+    def _invalidate(self) -> None:
+        """Drop the cached program/workspace after the flow set changed."""
+        self._program = None
+        self._workspace = None
+
     def program(self) -> FlowProgram:
-        """A :class:`FlowProgram` view over the current live arrays."""
-        return FlowProgram(
-            num_flows=self.num_flows,
-            sizes=self._sizes,
-            start_delays=self._delays,
-            set_ids=self._set_ids,
-            set_names=tuple(self._set_names),
-            res_cap=self.res_cap,
-            inc_res=self._inc_res,
-            inc_flow=self._inc_flow,
-        )
+        """A :class:`FlowProgram` view over the current live arrays.
+
+        Cached until :meth:`inject` / :meth:`retire` change the flow set,
+        so back-to-back fills between topology-of-flows changes skip the
+        rebuild (and keep one :class:`FillWorkspace` warm).
+        """
+        if self._program is None:
+            self._program = FlowProgram(
+                num_flows=self.num_flows,
+                sizes=self._sizes,
+                start_delays=self._delays,
+                set_ids=self._set_ids,
+                set_names=tuple(self._set_names),
+                res_cap=self.res_cap,
+                inc_res=self._inc_res,
+                inc_flow=self._inc_flow,
+            )
+        return self._program
+
+    def workspace(self) -> FillWorkspace:
+        """The reusable fill workspace for the current program."""
+        if self._workspace is None:
+            self._workspace = FillWorkspace(self.program())
+        return self._workspace
 
     def fill(self) -> Tuple[np.ndarray, int]:
-        """Max-min fair rates over all live flows (engine ``fill_rates``)."""
+        """Max-min fair rates over all live flows (engine ``fill_rates``).
+
+        The returned rate vector aliases the cached workspace and is
+        overwritten by the next fill; the cluster runner integrates it
+        before re-filling, so no copy is taken.
+        """
         active = np.ones(self.num_flows, dtype=bool)
-        return fill_rates(self.program(), active)
+        return fill_rates(self.program(), active, self.workspace())
 
     def advance(self, rates: np.ndarray, dt: float) -> None:
         """Drain ``rates * dt`` bytes from every live flow."""
@@ -144,4 +171,5 @@ class FlowInjector:
         self._remaining = self._remaining[keep]
         self._delays = self._delays[keep]
         self._set_ids = self._set_ids[keep]
+        self._invalidate()
         return retired

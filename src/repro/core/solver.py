@@ -148,6 +148,16 @@ class LPSolution:
 
     # ------------------------------------------------------------------ #
     @property
+    def x(self) -> Optional[np.ndarray]:
+        """The solver's flat solution vector (None for cache-restored copies).
+
+        The batched family solver (:mod:`repro.perf.batch`) scales this
+        vector directly when a family member's RHS is a uniform scaling of
+        a solved one; treat it as read-only.
+        """
+        return self._x
+
+    @property
     def values(self) -> Dict[Hashable, float]:
         """Keyed-variable values as a dict (materialized lazily, then cached)."""
         if self._values is None:

@@ -16,6 +16,7 @@ entry point every formulation routes through.
 """
 
 from .backends import (
+    HighsNativeBackend,
     ScipyHighsBackend,
     SolveBackend,
     backend_names,
@@ -33,6 +34,7 @@ from .problem import (
 from .runner import ParallelRunner, run_parallel
 
 __all__ = [
+    "HighsNativeBackend",
     "ScipyHighsBackend",
     "SolveBackend",
     "backend_names",

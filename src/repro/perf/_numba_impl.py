@@ -1,0 +1,108 @@
+"""The CSR saturation-round kernel, JIT-compiled when numba is available.
+
+The algorithm is written once, as the plain-python function
+:func:`_fill_csr`, and wrapped with ``numba.njit(cache=True)`` at import
+time when the optional dependency is present.  Both callables are exported:
+
+* :data:`fill_csr` — the jitted kernel, or ``None`` when numba is absent
+  (or disabled via ``REPRO_NO_NUMBA=1``);
+* :data:`fill_csr_python` — the same function, interpreted.  The test
+  suite runs it everywhere (including CI legs without numba) so the exact
+  algorithm the JIT compiles is differentially verified even where the
+  compiler is missing.
+
+Semantics match the vectorized numpy fill in
+:mod:`repro.perf.fillkernel` entry-for-entry: per-resource user counts
+are over incidence *entries* (duplicates included), every resource tied
+for the minimum fair share within ``sim_eps + 1e-12 * |best|`` freezes
+its flows in the same round, and residual capacity is clamped at zero.
+Max-min fair allocations are unique, so the two implementations agree to
+float round-off (asserted at 1e-9 in ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["fill_csr", "fill_csr_python"]
+
+
+def _fill_csr(res_cap, res_ptr, res_flows, flow_ptr, flow_res, active,
+              rates, frozen, counts, residual, stack, sim_eps):
+    """Run progressive filling over flat CSR incidence; returns the round count.
+
+    Arguments are the preallocated arenas of a
+    :class:`~repro.perf.fillkernel.FillWorkspace`: ``res_ptr``/``res_flows``
+    list each resource's incidence entries (flow ids), ``flow_ptr``/
+    ``flow_res`` the transpose.  ``rates``, ``frozen``, ``counts``,
+    ``residual`` and ``stack`` are scratch outputs overwritten in place;
+    the caller reads the fair-share result from ``rates``.
+    """
+    num_res = res_cap.shape[0]
+    num_flows = active.shape[0]
+    n_unfrozen = 0
+    for f in range(num_flows):
+        rates[f] = 0.0
+        if active[f]:
+            frozen[f] = False
+            n_unfrozen += 1
+        else:
+            frozen[f] = True
+    for r in range(num_res):
+        residual[r] = res_cap[r]
+        cnt = 0
+        for k in range(res_ptr[r], res_ptr[r + 1]):
+            if active[res_flows[k]]:
+                cnt += 1
+        counts[r] = cnt
+    rounds = 0
+    while n_unfrozen > 0:
+        rounds += 1
+        best = np.inf
+        for r in range(num_res):
+            if counts[r] > 0:
+                s = residual[r] / counts[r]
+                if s < best:
+                    best = s
+        if best == np.inf:
+            # No constraining resource left (cannot happen for well-formed
+            # paths — every flow crosses at least one link): unbounded rate.
+            for f in range(num_flows):
+                if not frozen[f]:
+                    rates[f] = np.inf
+            break
+        thresh = best + sim_eps + 1e-12 * abs(best)
+        top = 0
+        for r in range(num_res):
+            if counts[r] > 0 and residual[r] / counts[r] <= thresh:
+                for k in range(res_ptr[r], res_ptr[r + 1]):
+                    f = res_flows[k]
+                    if not frozen[f]:
+                        frozen[f] = True
+                        rates[f] = best
+                        stack[top] = f
+                        top += 1
+        for i in range(top):
+            f = stack[i]
+            for k in range(flow_ptr[f], flow_ptr[f + 1]):
+                r = flow_res[k]
+                residual[r] -= best
+                if residual[r] < 0.0:
+                    residual[r] = 0.0
+                counts[r] -= 1
+        n_unfrozen -= top
+    return rounds
+
+
+fill_csr_python = _fill_csr
+
+fill_csr = None
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba
+
+        fill_csr = numba.njit(cache=True)(_fill_csr)
+    except ImportError:
+        fill_csr = None

@@ -21,6 +21,7 @@ from .costmodel import (
 )
 from .engine import (
     EngineResult,
+    FillWorkspace,
     FlowProgram,
     compile_flows,
     engine_counters,
@@ -56,6 +57,7 @@ __all__ = [
     "steady_state_throughput",
     "throughput_upper_bound_curve",
     "EngineResult",
+    "FillWorkspace",
     "FlowProgram",
     "compile_flows",
     "engine_counters",

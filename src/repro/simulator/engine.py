@@ -9,11 +9,14 @@ on this engine:
    :class:`FlowProgram`: flows, links, injection caps and forwarding caps
    become sparse resource-incidence arrays (COO triplets plus per-resource
    capacities, built once per schedule);
-2. **fill** — progressive filling (max-min fairness) runs as vectorized
-   numpy saturation rounds over those arrays: per round, one ``bincount``
-   yields every resource's unfrozen-user count, the minimum fair share
-   picks the bottleneck(s), and all their flows freeze at that rate —
-   instead of the O(resources x flows) interpreted loop per round;
+2. **fill** — progressive filling (max-min fairness) dispatches through
+   the :mod:`repro.perf` kernel layer: a flat-CSR kernel JIT-compiled with
+   numba when available, or vectorized numpy saturation rounds otherwise
+   (per round, one ``bincount`` yields every resource's unfrozen-user
+   count, the minimum fair share picks the bottleneck(s), and all their
+   flows freeze at that rate).  ``REPRO_KERNEL`` selects explicitly;
+   scratch arenas live in a :class:`~repro.perf.fillkernel.FillWorkspace`
+   reused across fills;
 3. **execute** — :func:`execute` advances from flow completion to flow
    completion through the :class:`~repro.simulator.events.EventQueue`
    scheduler, re-filling incrementally over the surviving flows only.
@@ -38,19 +41,21 @@ for the ``[stats]`` footer; read them with :func:`engine_counters`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..constants import SIM_BYTES_EPS, SIM_EPS
+from ..perf.fillkernel import FillWorkspace, run_fill
 from ..topology.base import Edge, Topology
 from .events import EventQueue
 from .fabric import FabricModel
 
-__all__ = ["FluidFlow", "FlowProgram", "EngineResult", "compile_flows",
-           "execute", "fill_rates", "simulate_program", "engine_counters",
-           "record_simulation", "reset_engine_counters"]
+__all__ = ["FluidFlow", "FlowProgram", "EngineResult", "FillWorkspace",
+           "compile_flows", "execute", "fill_rates", "simulate_program",
+           "engine_counters", "record_simulation", "reset_engine_counters"]
 
 
 @dataclass
@@ -79,12 +84,19 @@ class FluidFlow:
 # --------------------------------------------------------------------------- #
 # Engine-wide counters (surfaced in the CLI's [stats] footer)
 # --------------------------------------------------------------------------- #
-_counters = {"fill_rounds": 0, "events": 0, "simulations": 0}
+_counters: Dict[str, object] = {"fill_rounds": 0, "events": 0,
+                                "simulations": 0, "fill_seconds": 0.0,
+                                "kernel": ""}
 _counters_lock = threading.Lock()
 
 
-def engine_counters() -> Dict[str, int]:
-    """Cumulative simulator counters: fill rounds, completion events, runs."""
+def engine_counters() -> Dict[str, object]:
+    """Cumulative simulator counters: fill rounds/seconds, events, runs.
+
+    ``kernel`` names the fill kernel used by the most recent fill
+    (``numba``, ``numpy`` or ``python-csr``); ``fill_seconds`` accumulates
+    wall time inside :func:`fill_rates` across the process.
+    """
     with _counters_lock:
         return dict(_counters)
 
@@ -92,8 +104,8 @@ def engine_counters() -> Dict[str, int]:
 def reset_engine_counters() -> None:
     """Zero the cumulative counters (tests and benchmarks)."""
     with _counters_lock:
-        for key in _counters:
-            _counters[key] = 0
+        _counters.update(fill_rounds=0, events=0, simulations=0,
+                         fill_seconds=0.0, kernel="")
 
 
 def _count(fill_rounds: int, events: int) -> None:
@@ -239,58 +251,28 @@ def compile_flows(topology: Topology, flows: Sequence[FluidFlow],
 
 
 # --------------------------------------------------------------------------- #
-# Vectorized progressive filling
+# Progressive filling (dispatched to the repro.perf kernel layer)
 # --------------------------------------------------------------------------- #
-def fill_rates(program: FlowProgram, active: np.ndarray) -> Tuple[np.ndarray, int]:
-    """Max-min fair rates for the active flows, as numpy saturation rounds.
+def fill_rates(program: FlowProgram, active: np.ndarray,
+               workspace: Optional[FillWorkspace] = None
+               ) -> Tuple[np.ndarray, int]:
+    """Max-min fair rates for the active flows via the selected fill kernel.
 
-    Each round: count unfrozen users per resource (one ``bincount``), take
-    the smallest fair share, freeze every flow touching a bottleneck
-    resource at that share, and retire their capacity.  Returns the rate
-    vector and the number of rounds (the footer's ``fill_rounds`` counter).
+    Dispatches through :func:`repro.perf.fillkernel.run_fill` — the numba
+    CSR kernel when available (``REPRO_KERNEL`` overrides), the vectorized
+    numpy saturation rounds otherwise.  With a ``workspace`` (built once
+    per program) scratch arenas *and the returned rate vector* are reused
+    across calls; callers that keep rates past the next fill must copy
+    them.  Returns the rate vector and the number of saturation rounds
+    (the footer's ``fill_rounds`` counter); wall time and the kernel name
+    accumulate in :func:`engine_counters`.
     """
-    num_res = len(program.res_cap)
-    num_flows = program.num_flows
-    rates = np.zeros(num_flows)
-    residual = program.res_cap.astype(float, copy=True)
-    unfrozen = active.copy()
-    # Compress the incidence to the surviving flows once per fill; rounds
-    # then touch only these entries.
-    sel = unfrozen[program.inc_flow]
-    ent_res = program.inc_res[sel]
-    ent_flow = program.inc_flow[sel]
-    ent_alive = np.ones(ent_res.shape, dtype=bool)
-    counts = np.bincount(ent_res, minlength=num_res)
-    share = np.empty(num_res)
-    rounds = 0
-    n_unfrozen = int(unfrozen.sum())
-    while n_unfrozen:
-        rounds += 1
-        used = counts > 0
-        if not used.any():
-            # No constraining resource (cannot happen for well-formed paths,
-            # every flow crosses at least one link): unbounded rate.
-            rates[unfrozen] = np.inf
-            break
-        share.fill(np.inf)
-        np.divide(residual, counts, out=share, where=used)
-        best = float(share.min())
-        # Freeze every resource tied for the minimum share.  Max-min fair
-        # allocations are unique, so an exactly-tied resource would yield the
-        # same share next round anyway; grouping within SIM_EPS only saves
-        # the round.
-        bottleneck = used & (share <= best + SIM_EPS + 1e-12 * abs(best))
-        freeze = np.zeros(num_flows, dtype=bool)
-        freeze[ent_flow[ent_alive & bottleneck[ent_res]]] = True
-        rates[freeze] = best
-        ent_frozen = ent_alive & freeze[ent_flow]
-        frozen_res = ent_res[ent_frozen]
-        np.subtract.at(residual, frozen_res, best)
-        np.maximum(residual, 0.0, out=residual)
-        counts -= np.bincount(frozen_res, minlength=num_res)
-        ent_alive &= ~ent_frozen
-        unfrozen &= ~freeze
-        n_unfrozen -= int(np.count_nonzero(freeze))
+    t0 = time.perf_counter()
+    rates, rounds, kernel = run_fill(program, active, workspace)
+    elapsed = time.perf_counter() - t0
+    with _counters_lock:
+        _counters["fill_seconds"] += elapsed
+        _counters["kernel"] = kernel
     return rates, rounds
 
 
@@ -327,12 +309,18 @@ def execute(program: FlowProgram, max_events: int = 1_000_000) -> EngineResult:
     active = remaining > SIM_EPS
     completion = np.where(active, 0.0, program.start_delays)
     queue = EventQueue()
-    state = {"rates": np.zeros(n), "last": 0.0, "fill_rounds": 0}
+    # One workspace per run: the CSR incidence is flattened once and every
+    # fill reuses the same scratch arenas (including the rate vector, which
+    # refill_and_schedule aliases into ``state`` instead of copying —
+    # on_completion always drains the previous rates before the next fill
+    # overwrites the buffer).
+    workspace = FillWorkspace(program)
+    state = {"rates": workspace.rates, "last": 0.0, "fill_rounds": 0}
 
     def refill_and_schedule() -> None:
         if not active.any():
             return
-        rates, rounds = fill_rates(program, active)
+        rates, rounds = fill_rates(program, active, workspace)
         state["rates"] = rates
         state["fill_rounds"] += rounds
         eligible = active & (rates > SIM_EPS)
