@@ -2,7 +2,8 @@
 """Validate a sweep JSONL file against the record schema (CI sweep-smoke gate).
 
 Usage: python benchmarks/check_sweep.py results.jsonl [--expect N]
-       [--require-sim] [--require-cluster] [--compare OTHER]
+       [--require-sim] [--require-cluster] [--require-faults]
+       [--compare OTHER]
 
 Checks every line parses, carries the mandatory record fields with the right
 shapes (64-hex key, current schema_version, ok/error status, numeric metrics
@@ -14,6 +15,9 @@ completion times with exactly ``overlap`` entries per buffer point.
 ``--require-cluster`` (the CI cluster-smoke gate) requires each ok record to
 carry the multi-job co-simulation metrics (``job_slowdown_p50``,
 ``makespan_seconds``, ``fabric_utilization``) with sane values.
+``--require-faults`` (the CI faults-smoke gate) requires each ok record to
+carry the dynamic-failure metrics (``robustness_slowdown``, ``reroute_count``,
+``stranded_bytes``, ``fault_events``) with sane values.
 ``--compare OTHER`` (the CI sweep-parallel gate) requires the two files to be
 canonically identical: records sorted by scenario hash, the volatile
 execution-accounting sections (``timings``, ``engine``, ``stage_cache`` —
@@ -37,7 +41,7 @@ REQUIRED_FIELDS = ("schema_version", "key", "label", "status", "through",
 
 #: Mirrors repro.experiments.scenario_schema_version() without importing the
 #: package (this script runs without PYTHONPATH=src in CI).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Mirrors repro.experiments.executor.VOLATILE_RECORD_FIELDS: execution
 #: accounting (wall clock, cache luck) that legitimately differs between a
@@ -155,6 +159,28 @@ def check_cluster_metrics(index: int, rec: dict, errors: List[str]) -> None:
         errors.append(f"line {index}: metrics['cluster_jobs'] missing or < 1")
 
 
+def check_faults_metrics(index: int, rec: dict, errors: List[str]) -> None:
+    """The --require-faults gate: dynamic-failure robustness metrics."""
+    if rec.get("status") != "ok":
+        return
+    metrics = rec.get("metrics", {})
+    slowdown = metrics.get("robustness_slowdown")
+    if not isinstance(slowdown, (int, float)):
+        errors.append(f"line {index}: metrics['robustness_slowdown'] missing")
+    elif slowdown < 1.0 - 1e-6:
+        errors.append(f"line {index}: robustness_slowdown {slowdown} < 1 "
+                      "(a degraded fabric cannot beat the healthy run)")
+    for name in ("reroute_count", "fault_events"):
+        value = metrics.get(name)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"line {index}: metrics[{name!r}] missing or negative")
+    stranded = metrics.get("stranded_bytes")
+    if not isinstance(stranded, (int, float)) or stranded < 0:
+        errors.append(f"line {index}: metrics['stranded_bytes'] missing or negative")
+    if rec.get("scenario", {}).get("faults") is None:
+        errors.append(f"line {index}: record lacks a faults axis in its scenario")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("jsonl", help="sweep results file to validate")
@@ -166,6 +192,10 @@ def main(argv=None) -> int:
     parser.add_argument("--require-cluster", action="store_true",
                         help="require multi-job cluster metrics (slowdown, "
                              "makespan, utilization) in every ok record")
+    parser.add_argument("--require-faults", action="store_true",
+                        help="require dynamic-failure metrics (robustness "
+                             "slowdown, reroutes, stranded bytes) in every "
+                             "ok record")
     parser.add_argument("--compare", default=None, metavar="OTHER",
                         help="require canonical equality with another sweep "
                              "JSONL (volatile fields dropped, hash-sorted)")
@@ -183,6 +213,8 @@ def main(argv=None) -> int:
                 check_sim_metrics(index, rec, errors)
             if args.require_cluster:
                 check_cluster_metrics(index, rec, errors)
+            if args.require_faults:
+                check_faults_metrics(index, rec, errors)
             records.append(rec)
 
     if args.compare is not None:

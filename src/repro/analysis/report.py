@@ -51,6 +51,11 @@ def format_engine_footer(engine_stats: Mapping[str, object],
         if kernel:
             line += (f" [kernel={kernel}, "
                      f"{float(sim_stats.get('fill_seconds', 0.0)):.3f}s fill]")
+        if sim_stats.get("fabric_events"):
+            # Dynamic-failure accounting (repro.faults): only shown when a
+            # fault runner actually mutated a fabric this process.
+            line += (f"; faults: {sim_stats['fabric_events']} fabric events "
+                     f"/ {sim_stats.get('reroutes', 0)} reroutes")
     if executor_stats is not None:
         per_worker = "/".join(str(c) for c in executor_stats.get("completed", []))
         line += (f"; exec: {executor_stats.get('workers', 0)} workers "

@@ -145,6 +145,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         set_fill_kernel(args.kernel)
     base = {"scheme": args.scheme, "fabric": args.fabric,
             "buffers": tuple(_buffer_list(args.buffers)), "overlap": args.overlap}
+    if args.faults:
+        base["faults"] = args.faults
     if args.topology:
         base["topology"] = args.topology
     _apply_set_args(args.set, base)
@@ -163,21 +165,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     throughputs = res.metrics.get("throughput_bytes_per_s") or {}
     completions = res.metrics.get("completion_seconds") or {}
     overlap_times = res.metrics.get("overlap_completion_seconds") or {}
+    fault_slowdowns = res.metrics.get("robustness_slowdowns") or {}
     headers = ["buffer bytes", "time (s)", "throughput GB/s"]
     if overlap_times:
         headers.append("per-collective (s)")
+    if fault_slowdowns:
+        headers.append("slowdown")
     rows = []
     for buf, tp in throughputs.items():
         row = [int(buf), completions.get(buf, ""), tp / 1e9]
         if overlap_times:
             row.append(" ".join(f"{t:.6f}" for t in overlap_times.get(buf, [])))
+        if fault_slowdowns:
+            row.append(round(float(fault_slowdowns.get(buf, 1.0)), 4))
         rows.append(row)
     status = "resumed" if res.resumed else "ok"
     fabric_label = (scenario.fabric if isinstance(scenario.fabric, str)
                     else scenario.fabric.name)
-    print(format_table(headers, rows,
-                       title=f"{scenario.label()} ({fabric_label} fabric, "
-                             f"overlap={scenario.overlap}) [{status}]"))
+    title = (f"{scenario.label()} ({fabric_label} fabric, "
+             f"overlap={scenario.overlap}) [{status}]")
+    print(format_table(headers, rows, title=title))
+    if fault_slowdowns:
+        print(f"faults: {res.metrics.get('fault_events', 0)} fabric event(s), "
+              f"{res.metrics.get('reroute_count', 0)} reroute(s), "
+              f"{res.metrics.get('stranded_bytes', 0.0):.0f} stranded bytes")
     if args.out:
         print(f"record appended to {args.out}")
     _print_engine_stats()
@@ -288,6 +299,101 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"({totals['resumed']} resumed)",
         executor_stats=exec_stats.to_dict() if exec_stats else None)
     return 1 if totals["errors"] else 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    """Schedule robustness under dynamic fabric failures.
+
+    Two modes compose in one invocation: each ``--faults`` spec becomes one
+    fault-injection scenario executed through
+    :func:`~repro.experiments.run_sweep` (sweep-compatible JSONL via
+    ``--out``, resumable, fault specs share the synthesized schedule), and
+    ``--adversarial K`` additionally searches the worst-case K-physical-link
+    failure set against the schedule
+    (:func:`~repro.faults.worst_case_failures`), printing the degradation
+    table.  See docs/robustness.md for the fault grammar and knobs.
+    """
+    from .experiments import Plan, Scenario
+
+    specs = args.faults or []
+    scenarios = []
+    for spec in specs:
+        base = {"topology": args.topology, "scheme": args.scheme,
+                "fabric": args.fabric,
+                "buffers": (float(args.buffer),), "faults": spec}
+        _apply_set_args(args.set, base)
+        scenarios.append(Scenario.from_dict(base))
+
+    failures = []
+    results = []
+    if scenarios:
+        results = run_sweep(scenarios, out_path=args.out, jobs=args.jobs,
+                            resume=args.resume, n_jobs=args.lp_jobs)
+        rows = []
+        for res, spec in zip(results, specs):
+            if res.status == "error":
+                rows.append([spec, "error", "-", "-", "-", "-"])
+                failures.append((spec, res.error or "unknown error"))
+                continue
+            m = res.metrics
+            rows.append([
+                spec,
+                "resumed" if res.resumed else "ok",
+                "-" if m.get("robustness_slowdown") is None
+                else round(float(m["robustness_slowdown"]), 4),
+                m.get("reroute_count", "-"),
+                "-" if m.get("stranded_bytes") is None
+                else f"{float(m['stranded_bytes']):.0f}",
+                m.get("fault_events", "-"),
+            ])
+        print(format_table(
+            ["faults", "status", "slowdown", "reroutes", "stranded B",
+             "epochs"],
+            rows,
+            title=f"Fault injection on {args.topology} ({args.scheme})"))
+        for spec, message in failures:
+            print(f"error: {spec}: {message}")
+        if args.out:
+            print(f"streaming results in {args.out}")
+
+    if args.adversarial:
+        from .faults import worst_case_failures
+
+        scenario = Scenario.from_dict({
+            "topology": args.topology, "scheme": args.scheme,
+            "fabric": args.fabric, "buffers": (float(args.buffer),)})
+        plan = Plan(scenario, n_jobs=args.lp_jobs)
+        lowered = plan.run("validate").lowered
+        adv = worst_case_failures(
+            lowered, float(args.buffer), k=args.adversarial,
+            fabric=scenario.resolved_fabric(), at=args.at,
+            candidates=args.candidates, mode=args.mode, seed=args.seed)
+        rows = []
+        for ev in adv.evaluations:
+            if len(ev["links"]) != adv.k:
+                continue
+            rows.append([
+                "|".join(f"{u}~{v}" for u, v in ev["links"]),
+                "stranded" if ev["stranded"]
+                else round(float(ev["slowdown"]), 4),
+                ev["reroute_count"],
+                f"{float(ev['stranded_bytes']):.0f}",
+            ])
+        print(format_table(
+            ["failed links", "slowdown", "reroutes", "stranded B"], rows,
+            title=f"Worst-case {adv.k}-link failure on {args.topology} "
+                  f"({adv.mode} over {args.candidates} candidates, "
+                  f"at t={adv.at_seconds:.6f}s)"))
+        worst = "|".join(f"{u}~{v}" for u, v in adv.worst_links)
+        worst_label = ("disconnects the schedule" if adv.worst_stranded
+                       else f"slowdown {adv.worst_slowdown:.4f}")
+        print(f"worst case: down={worst} -> {worst_label}")
+
+    totals = sweep_stats(results) if results else None
+    extra = (f"faults: {totals['ok']} ok / {totals['errors']} error "
+             f"({totals['resumed']} resumed)" if totals else "")
+    _print_engine_stats(extra)
+    return 1 if failures else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -423,10 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate one scenario on the unified fluid engine",
         description="Run one declarative scenario through the staged Plan "
                     "pipeline and print its throughput series.  Supports the "
-                    "overlap axis (--overlap N copies sharing the fabric) and "
+                    "overlap axis (--overlap N copies sharing the fabric), "
                     "degraded fabrics on the fabric spec, e.g. "
-                    "--fabric 'hpc:down=0~1' or 'hpc:scale=0~1:0.5'.  With "
-                    "--out, appends one sweep-compatible JSONL record.")
+                    "--fabric 'hpc:down=0~1' or 'hpc:scale=0~1:0.5', and "
+                    "dynamic failures via --faults "
+                    "'faults:down=0~1@0.5ms:up@1.2ms'.  With --out, appends "
+                    "one sweep-compatible JSONL record.")
     p_sim.add_argument("topology", nargs="?", default=None,
                        help="topology spec (or use --set topology=...)")
     p_sim.add_argument("--fabric", default="hpc",
@@ -437,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated per-node buffer sizes in bytes")
     p_sim.add_argument("--overlap", type=int, default=1,
                        help="concurrent copies of the collective sharing the fabric")
+    p_sim.add_argument("--faults", default=None, metavar="SPEC",
+                       help="timed fabric-event spec for dynamic failures, "
+                            "e.g. 'faults:down=0~1@0.5ms:up@1.2ms' "
+                            "(see docs/robustness.md)")
     p_sim.add_argument("--set", action="append", metavar="FIELD=VALUE",
                        help="set any scenario field (repeatable), "
                             "e.g. --set max_denominator=16")
@@ -497,6 +609,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_clu.add_argument("--lp-jobs", type=int, default=1,
                        help="child-LP workers within each scenario")
     p_clu.set_defaults(func=_cmd_cluster)
+
+    p_rob = sub.add_parser(
+        "robustness",
+        help="evaluate schedule robustness under dynamic fabric failures",
+        description="Run fault-injection scenarios "
+                    "(faults:down=0~1@0.5ms:up@1.2ms) over a synthesized "
+                    "schedule with online rerouting, and/or search the "
+                    "worst-case k-link failure set (--adversarial K).  "
+                    "Emits sweep-compatible JSONL via --out; see "
+                    "docs/robustness.md for the fault grammar.")
+    p_rob.add_argument("topology", help="topology spec, e.g. hypercube:dim=3")
+    p_rob.add_argument("--faults", action="append", metavar="SPEC",
+                       help="fault spec (repeatable; one scenario each), "
+                            "e.g. 'faults:down=0~1@0.2ms:up@1ms:seed=7'")
+    p_rob.add_argument("--adversarial", type=int, default=None, metavar="K",
+                       help="also search the worst-case K-physical-link "
+                            "failure set against the schedule")
+    p_rob.add_argument("--scheme", default="mcf-extp",
+                       help="path-based scheme name (link-based schemes "
+                            "cannot be rerouted mid-step)")
+    p_rob.add_argument("--fabric", default="hpc",
+                       help="fabric spec, e.g. hpc, ml, hpc:scale=0~1:0.5")
+    p_rob.add_argument("--buffer", type=float, default=float(2**20),
+                       help="per-node all-to-all buffer bytes")
+    p_rob.add_argument("--at", type=float, default=0.5,
+                       help="adversarial failure instant as a fraction of "
+                            "the zero-fault completion time (0 < at < 1)")
+    p_rob.add_argument("--candidates", type=int, default=12,
+                       help="adversarial candidate pool: heaviest-loaded "
+                            "physical links considered")
+    p_rob.add_argument("--mode", default="auto",
+                       choices=["auto", "exhaustive", "greedy"],
+                       help="adversarial search strategy (auto: exhaustive "
+                            "while the subset count stays small)")
+    p_rob.add_argument("--seed", type=int, default=0,
+                       help="seed recorded with the adversarial search")
+    p_rob.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="set any scenario field (repeatable)")
+    p_rob.add_argument("--out", "-o", default=None,
+                       help="JSONL results file (appended to, one record "
+                            "per fault spec)")
+    p_rob.add_argument("--resume", action="store_true",
+                       help="skip fault specs whose key already has an ok "
+                            "record in --out")
+    p_rob.add_argument("--jobs", type=int, default=1,
+                       help="fault scenarios executed concurrently (threads)")
+    p_rob.add_argument("--lp-jobs", type=int, default=1,
+                       help="child-LP workers within each scenario")
+    p_rob.set_defaults(func=_cmd_robustness)
 
     p_swp = sub.add_parser(
         "sweep",

@@ -253,6 +253,14 @@ class Plan:
                                validate=False)
         if not scenario.buffers:
             return []
+        if scenario.faults is not None:
+            from ..faults import run_faulted_sweep  # lazy: faults imports simulator
+
+            return run_faulted_sweep(self.result.lowered,
+                                     list(scenario.buffers),
+                                     scenario.faults,
+                                     fabric=scenario.resolved_fabric(),
+                                     validate_first=False)
         return throughput_sweep(self.result.lowered, list(scenario.buffers),
                                 fabric=scenario.resolved_fabric(),
                                 validate_first=False,

@@ -68,7 +68,9 @@ STAGES: Tuple[str, ...] = ("synthesize", "lower", "validate", "simulate")
 #:    cosmetic name, including the degraded-link fields.
 #: 3: simulate stage gained ``cluster`` (multi-job trace specs, hashed by
 #:    their parsed canonical form so equivalent spellings share keys).
-_SCENARIO_SCHEMA = 3
+#: 4: simulate stage gained ``faults`` (timed fabric-event specs, hashed by
+#:    their parsed canonical form — key-order invariant like cluster).
+_SCENARIO_SCHEMA = 4
 
 
 def scenario_schema_version() -> int:
@@ -185,7 +187,7 @@ _STAGE_FIELDS: Dict[str, Tuple[str, ...]] = {
 _STAGE_FIELDS["lower"] = _STAGE_FIELDS["synthesize"] + ("max_denominator",)
 _STAGE_FIELDS["validate"] = _STAGE_FIELDS["lower"]
 _STAGE_FIELDS["simulate"] = _STAGE_FIELDS["lower"] + ("fabric", "buffers", "overlap",
-                                                     "cluster")
+                                                     "cluster", "faults")
 
 _SUPPORTED_WORKLOADS = ("alltoall",)
 
@@ -233,13 +235,23 @@ class Scenario:
         the parsed canonical form, so traces share synthesized schedules
         and equivalent spellings share keys.  Mutually exclusive with
         ``overlap > 1`` (a cluster trace already multiplexes the fabric).
+    faults:
+        Optional timed fabric-event spec
+        (``"faults:down=0~1@0.5ms:up@1.2ms:seed=7"``, see
+        :mod:`repro.faults.spec`).  When set, the simulate stage runs the
+        fault-injection runner: links drop/recover/flap mid-collective and
+        in-flight flows are rerouted online.  Part of the simulate stage
+        key only — hashed by the parsed canonical form, so fault variants
+        share synthesized schedules and equivalent spellings share keys.
+        Mutually exclusive with ``cluster`` and with ``overlap > 1``.
     name:
         Cosmetic label for reports; excluded from hashing.
 
-    The degraded-fabric axis has no field of its own: it lives on the fabric
-    spec (``"hpc:down=0~1"``, ``"hpc:scale=0~1:0.5"``), and since the fabric
-    is hashed by *content*, degradation flows into the simulate-stage cache
-    key automatically.
+    The *static* degraded-fabric axis has no field of its own: it lives on
+    the fabric spec (``"hpc:down=0~1"``, ``"hpc:scale=0~1:0.5"``), and since
+    the fabric is hashed by *content*, degradation flows into the
+    simulate-stage cache key automatically.  The ``faults`` field is its
+    dynamic counterpart: the same degradation arriving *mid-run*.
     """
 
     topology: Union[str, Topology]
@@ -258,6 +270,7 @@ class Scenario:
     buffers: Tuple[float, ...] = ()
     overlap: int = 1
     cluster: Optional[str] = None
+    faults: Optional[str] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -276,6 +289,18 @@ class Scenario:
                     "cluster traces and overlap > 1 are mutually exclusive: "
                     "a cluster trace already multiplexes the fabric")
             parse_cluster_spec(self.cluster)  # eager validation
+        if self.faults is not None:
+            from ..faults.spec import parse_fault_spec  # lazy: avoid cycle
+
+            if self.cluster is not None:
+                raise ValueError(
+                    "faults and cluster traces are mutually exclusive: the "
+                    "fault runner executes one collective per buffer point")
+            if self.overlap > 1:
+                raise ValueError(
+                    "faults and overlap > 1 are mutually exclusive: the "
+                    "fault runner reroutes a single collective's flows")
+            parse_fault_spec(self.faults)  # eager validation
         self.buffers = tuple(float(b) for b in self.buffers)
         self.scheme_params = dict(self.scheme_params)
         self._topology_obj: Optional[Topology] = (
@@ -342,6 +367,14 @@ class Scenario:
             from ..cluster.trace import parse_cluster_spec  # lazy: avoid cycle
 
             return ("cluster", parse_cluster_spec(value).canonical())
+        if fname == "faults":
+            # Same treatment as cluster: hash the parsed canonical form so
+            # event order / spelling differences share keys.
+            if value is None:
+                return ("faults", None)
+            from ..faults.spec import parse_fault_spec  # lazy: avoid cycle
+
+            return ("faults", parse_fault_spec(value).canonical())
         return (fname, canonical_value(value))
 
     def stage_key(self, stage: str) -> str:
@@ -420,6 +453,6 @@ def _coerce_field(name: str, value: object) -> object:
     if name == "buffers":
         # ';'-separated because ',' separates axis values in the CLI.
         return tuple(float(x) for x in value.replace(";", " ").split() if x)
-    if name == "cluster":
+    if name in ("cluster", "faults"):
         return None if value.lower() in ("", "none") else value
     return value

@@ -11,7 +11,7 @@ an ``ok`` record.
 Record schema (one JSON object per line)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "key": "<scenario content digest>",
       "label": "hypercube:dim=3/mcf-extp",
       "status": "ok" | "error",
@@ -36,7 +36,10 @@ Cluster-trace scenarios (``Scenario.cluster``) replace the throughput
 series with cluster metrics: ``cluster_jobs``, ``makespan_seconds``,
 ``fabric_utilization``, ``job_slowdown_p50``/``job_slowdown_p99``, plus the
 per-job ``job_slowdowns``/``job_completion_seconds`` mappings keyed by job
-id.
+id.  Fault-injection scenarios (``Scenario.faults``) keep the throughput
+series and add ``robustness_slowdown`` (worst buffer point),
+``reroute_count``, ``stranded_bytes``, ``fault_events`` and the per-buffer
+``robustness_slowdowns`` mapping.
 """
 
 from __future__ import annotations
@@ -192,6 +195,27 @@ def metrics_from_plan(result: PlanResult) -> Dict[str, object]:
         if any("per_collective_seconds" in r.meta for r in result.sim_results):
             metrics["overlap_completion_seconds"] = {
                 str(int(r.buffer_bytes)): list(r.per_collective_seconds)
+                for r in result.sim_results}
+        if any("robustness_slowdown" in r.meta for r in result.sim_results):
+            # Fault-injection accounting (Scenario.faults): the headline
+            # slowdown is the worst buffer point's; reroutes/stranded bytes
+            # and fabric-epoch counts sum across the sweep, with per-buffer
+            # slowdowns kept as a mapping for the robustness curves.
+            metrics["robustness_slowdown"] = float(max(
+                float(r.meta.get("robustness_slowdown", 1.0))
+                for r in result.sim_results))
+            metrics["reroute_count"] = int(sum(
+                int(r.meta.get("reroute_count", 0))
+                for r in result.sim_results))
+            metrics["stranded_bytes"] = float(sum(
+                float(r.meta.get("stranded_bytes", 0.0))
+                for r in result.sim_results))
+            metrics["fault_events"] = int(sum(
+                int(r.meta.get("fault_events", 0))
+                for r in result.sim_results))
+            metrics["robustness_slowdowns"] = {
+                str(int(r.buffer_bytes)):
+                    float(r.meta.get("robustness_slowdown", 1.0))
                 for r in result.sim_results}
     cluster = result.cluster_result
     if cluster is not None:

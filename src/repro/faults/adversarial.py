@@ -1,0 +1,176 @@
+"""Adversarial fault placement: worst-case k-link failure sets.
+
+Given a synthesized schedule, which *k* physical links should an adversary
+fail — and when — to slow it down the most?  :func:`worst_case_failures`
+searches failure sets against one schedule + buffer point:
+
+* **candidates** — physical (bidirectional) links ranked by the byte load
+  the schedule puts on them, heaviest first, capped at ``candidates`` to
+  bound the search;
+* **exhaustive** mode evaluates every k-subset of the candidates (exact,
+  cost C(candidates, k)); **greedy** grows the set one link at a time,
+  keeping the worst extension (k evaluations per round — the classic
+  submodular-style surrogate, not exact but near-linear);
+* each candidate set is evaluated by a full faulted run
+  (:func:`~repro.faults.runner.run_faulted`) with both directions of every
+  chosen link downed at ``at`` (a fraction of the zero-fault completion
+  time, default mid-run); a set that disconnects endpoints scores
+  ``inf`` — disconnection *is* the worst case;
+* ties break deterministically: by slowdown descending, then candidate
+  rank ascending, so equal-loss sets resolve to the one failing the
+  heaviest-loaded links.  ``seed`` is reserved for randomized candidate
+  sampling and is recorded in the result.
+
+The returned :class:`AdversarialResult` carries the worst set, its
+slowdown, and the full sorted evaluation table (the ``repro robustness``
+CLI prints it; the ``fig_robustness`` artifact plots the degradation curve
+against failure count).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..schedule.ir import RoutedSchedule
+from ..simulator.collective import run_routed_collective
+from ..simulator.fabric import FabricModel
+from .runner import run_faulted
+from .spec import FaultEvent, FaultSpec
+
+__all__ = ["AdversarialResult", "ranked_physical_links", "worst_case_failures"]
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class AdversarialResult:
+    """Outcome of a worst-case failure search against one schedule."""
+
+    k: int
+    at_seconds: float
+    baseline_seconds: float
+    worst_links: Tuple[Link, ...]          # physical links, (min, max) form
+    worst_slowdown: float
+    worst_stranded: bool
+    evaluations: List[Dict[str, object]] = field(default_factory=list)
+    mode: str = "exhaustive"
+    seed: int = 0
+
+    def worst_spec(self) -> FaultSpec:
+        """The fault spec reproducing the worst case found."""
+        return _failure_spec(self.worst_links, self.at_seconds, self.seed)
+
+
+def ranked_physical_links(schedule: RoutedSchedule,
+                          buffer_bytes: float) -> List[Tuple[Link, float]]:
+    """Physical links by schedule byte load, heaviest first.
+
+    Both directions of a physical link pool into one entry keyed by the
+    ``(min, max)`` node pair — an adversary cutting a cable takes out both
+    directions.  Ties break on the link id, so the ranking (and therefore
+    greedy/exhaustive tie-breaks downstream) is fully deterministic.
+    """
+    n = schedule.topology.num_nodes
+    shard = buffer_bytes / n
+    load: Dict[Link, float] = {}
+    for a in schedule.assignments:
+        size = a.chunk.bytes(shard)
+        for u, v in zip(a.route[:-1], a.route[1:]):
+            key = (min(u, v), max(u, v))
+            load[key] = load.get(key, 0.0) + size
+    return sorted(load.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def _failure_spec(links: Sequence[Link], at: float, seed: int) -> FaultSpec:
+    events = tuple(FaultEvent(time=at, kind="down", links=((u, v), (v, u)))
+                   for u, v in links)
+    return FaultSpec(events=events, seed=seed)
+
+
+def worst_case_failures(schedule: RoutedSchedule, buffer_bytes: float,
+                        k: int = 1,
+                        fabric: Optional[FabricModel] = None,
+                        at: Union[float, str] = 0.5,
+                        candidates: int = 12,
+                        mode: str = "auto",
+                        seed: int = 0,
+                        max_events: int = 1_000_000) -> AdversarialResult:
+    """Search the worst k-physical-link failure set against a schedule.
+
+    ``at`` is the failure instant as a fraction of the zero-fault
+    completion time (0 < at < 1; the default 0.5 strikes mid-run, when
+    rerouting hurts most).  ``mode`` is ``exhaustive``, ``greedy`` or
+    ``auto`` (exhaustive while C(candidates, k) stays under ~500 sets,
+    greedy beyond).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if mode not in ("auto", "exhaustive", "greedy"):
+        raise ValueError(f"mode must be auto/exhaustive/greedy, got {mode!r}")
+    at = float(at)
+    if not 0.0 < at < 1.0:
+        raise ValueError(f"at must be a fraction in (0, 1), got {at}")
+
+    baseline = run_routed_collective(schedule, buffer_bytes, fabric=fabric,
+                                     validate=False).completion_time
+    at_seconds = at * baseline
+    ranked = ranked_physical_links(schedule, buffer_bytes)[:max(candidates, k)]
+    pool = [link for link, _ in ranked]
+    rank = {link: i for i, link in enumerate(pool)}
+    if len(pool) < k:
+        raise ValueError(
+            f"schedule only loads {len(pool)} physical links; cannot fail {k}")
+
+    def evaluate(links: Tuple[Link, ...]) -> Dict[str, object]:
+        result = run_faulted(
+            schedule, buffer_bytes, _failure_spec(links, at_seconds, seed),
+            fabric=fabric, validate=False, max_events=max_events,
+            allow_stranded=True, baseline_seconds=baseline)
+        stranded = result.completion_time == float("inf")
+        slowdown = (float("inf") if stranded
+                    else result.completion_time / baseline)
+        return {"links": links, "slowdown": slowdown, "stranded": stranded,
+                "completion_seconds": result.completion_time,
+                "reroute_count": result.meta["reroute_count"],
+                "stranded_bytes": result.meta["stranded_bytes"]}
+
+    def sort_key(ev: Dict[str, object]) -> Tuple[float, Tuple[int, ...]]:
+        # Slowdown descending (stranded = -inf sorts first), then the
+        # heaviest-loaded (lowest-rank) links.
+        return (-ev["slowdown"], tuple(rank[link] for link in ev["links"]))
+
+    if mode == "auto":
+        exhaustive_sets = 1
+        for i in range(k):
+            exhaustive_sets = exhaustive_sets * (len(pool) - i) // (i + 1)
+        mode = "exhaustive" if exhaustive_sets <= 500 else "greedy"
+
+    evaluations: List[Dict[str, object]] = []
+    if mode == "exhaustive":
+        for combo in itertools.combinations(pool, k):
+            evaluations.append(evaluate(combo))
+    else:
+        chosen: Tuple[Link, ...] = ()
+        for _ in range(k):
+            round_evals = [evaluate(chosen + (link,))
+                           for link in pool if link not in chosen]
+            round_evals.sort(key=sort_key)
+            evaluations.extend(round_evals)
+            chosen = round_evals[0]["links"]
+
+    evaluations.sort(key=sort_key)
+    full = [ev for ev in evaluations if len(ev["links"]) == k]
+    worst = full[0]
+    return AdversarialResult(
+        k=k,
+        at_seconds=at_seconds,
+        baseline_seconds=baseline,
+        worst_links=tuple(worst["links"]),
+        worst_slowdown=worst["slowdown"],
+        worst_stranded=bool(worst["stranded"]),
+        evaluations=evaluations,
+        mode=mode,
+        seed=seed,
+    )

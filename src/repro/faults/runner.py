@@ -1,0 +1,328 @@
+"""Event-driven execution of a schedule under timed fabric faults.
+
+:func:`run_faulted` executes one routed collective while the fabric mutates
+underneath it.  Fault epochs and flow completions share one
+:class:`~repro.simulator.events.EventQueue`; every fabric epoch:
+
+1. integrates the fluid state to the epoch instant and retires finished
+   flows (cancelling the in-flight completion event);
+2. materializes the epoch's effective fabric
+   (:meth:`~repro.faults.spec.FaultTimeline.fabric_at`) and recomputes each
+   survivor's route — original route if still clear, deterministic BFS
+   repair otherwise, *stranded* if disconnected (:mod:`.reroute`);
+3. recompiles the survivors against the new fabric with their **residual**
+   bytes as sizes (the engine's own
+   :func:`~repro.simulator.engine.compile_flows`, then compacted exactly
+   like :meth:`repro.cluster.injector.FlowInjector.retire`) and certifies
+   the active route set deadlock-free through LASH / DF-SSSP;
+4. re-fills incrementally over the survivors and schedules the next
+   completion edge, with mechanics identical to
+   :func:`~repro.simulator.engine.execute`.
+
+Between epochs the run *is* the engine: max-min fair rates, completion-to-
+completion advancement, latency stamped after the transfer.  Completion
+latency always uses the flow's **originally planned** route (the repair
+happens mid-flight; the planned-path latency was already committed), so a
+zero-fault spec reproduces the plain engine byte-for-byte — the
+differential suite pins every faulted run to a hand-stitched sequence of
+piecewise-static engine runs at 1e-9.
+
+Two fault events at the same timestamp fire in spec-canonical order inside
+one epoch; a fault epoch colliding with a flow-completion instant fires
+*first* (epoch events are scheduled before any completion, and the queue
+breaks time ties by insertion order — see
+:class:`~repro.simulator.events.Event`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..constants import SIM_BYTES_EPS, SIM_EPS
+from ..schedule.ir import LinkSchedule, RoutedSchedule
+from ..schedule.validate import validate_routed_schedule
+from ..simulator.collective import CollectiveResult, run_routed_collective
+from ..simulator.engine import (FillWorkspace, FluidFlow, compile_flows,
+                                fill_rates, record_fault_events,
+                                record_simulation)
+from ..simulator.events import EventQueue
+from ..simulator.fabric import FabricModel
+from .reroute import certify_routes, effective_path, surviving_adjacency
+from .spec import FaultSpec, FaultTimeline, parse_fault_spec
+
+__all__ = ["StrandedScheduleError", "run_faulted", "run_faulted_sweep"]
+
+Path = Tuple[int, ...]
+
+
+class StrandedScheduleError(RuntimeError):
+    """Raised when flows stay disconnected past the last fault epoch."""
+
+    def __init__(self, flow_ids: Sequence[int], stranded_bytes: float) -> None:
+        self.flow_ids = tuple(int(i) for i in flow_ids)
+        self.stranded_bytes = float(stranded_bytes)
+        super().__init__(
+            f"{len(self.flow_ids)} flow(s) permanently stranded "
+            f"({self.stranded_bytes:.0f} residual bytes): the failure set "
+            "disconnects their endpoints and no recovery event follows; "
+            "pass allow_stranded=True to measure anyway")
+
+
+@dataclass
+class _EpochRecord:
+    """Per-epoch trace entry for the incidence-check tests."""
+
+    time: float
+    down: Tuple[Tuple[int, int], ...]
+    paths: Dict[int, Path]            # live flow id -> route in force
+    stranded: Tuple[int, ...]
+
+
+def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
+                spec: Union[FaultSpec, str],
+                fabric: Optional[FabricModel] = None,
+                validate: bool = True,
+                max_events: int = 1_000_000,
+                allow_stranded: bool = False,
+                collect_trace: bool = False,
+                baseline_seconds: Optional[float] = None) -> CollectiveResult:
+    """Execute a routed schedule under a fault timeline at one buffer size.
+
+    ``baseline_seconds`` (the zero-fault completion time on the same base
+    fabric) backs the ``robustness_slowdown`` metric; when omitted it is
+    computed with one extra plain engine run.  ``allow_stranded=True``
+    records permanently stranded flows as an infinite completion instead of
+    raising (the adversarial search treats disconnection as the worst
+    outcome); ``collect_trace=True`` stores per-epoch routes and down sets
+    in ``meta["epoch_trace"]`` for the differential tests.
+    """
+    if isinstance(spec, str):
+        spec = parse_fault_spec(spec)
+    if isinstance(schedule, LinkSchedule):
+        raise ValueError(
+            "fault injection supports routed (path-based) schedules only; "
+            "LinkSchedule steps are globally synchronized and cannot be "
+            "rerouted mid-step — use a cut-through scheme (e.g. mcf-extp)")
+    if validate:
+        validate_routed_schedule(schedule)
+
+    if baseline_seconds is None:
+        baseline_seconds = run_routed_collective(
+            schedule, buffer_bytes, fabric=fabric,
+            validate=False).completion_time
+
+    if spec.trivial:
+        # Literal delegation: a no-op fault timeline must be byte-identical
+        # to today's engine output, so it *is* today's engine.
+        result = run_routed_collective(schedule, buffer_bytes, fabric=fabric,
+                                       validate=False)
+        result.meta.update(
+            robustness_slowdown=(result.completion_time / baseline_seconds
+                                 if baseline_seconds > 0 else 1.0),
+            baseline_seconds=float(baseline_seconds),
+            reroute_count=0, stranded_bytes=0.0, fault_events=0,
+            vc_layers=0, fault_spec=spec.canonical())
+        return result
+
+    fabric = fabric or FabricModel()
+    timeline = FaultTimeline(spec)
+    topology = schedule.topology
+    edges = tuple(topology.edges)
+    n = topology.num_nodes
+    shard = buffer_bytes / n
+
+    orig_paths: List[Path] = [tuple(a.route) for a in schedule.assignments]
+    sizes = np.array([a.chunk.bytes(shard) for a in schedule.assignments])
+    delays = np.array([fabric.per_message_overhead
+                       + (len(p) - 1) * fabric.per_hop_latency
+                       for p in orig_paths])
+    num_flows = len(orig_paths)
+
+    remaining = sizes.astype(float, copy=True)
+    active = remaining > SIM_EPS
+    completion = np.where(active, 0.0, delays)
+    stranded = np.zeros(num_flows, dtype=bool)
+    current_paths: List[Optional[Path]] = list(orig_paths)
+
+    queue = EventQueue()
+    counters = {"fill_rounds": 0, "reroutes": 0, "stranded_bytes": 0.0,
+                "fault_events": 0, "vc_layers": 0}
+    trace: List[_EpochRecord] = []
+    # Live-subprogram state: the compiled survivors, their global flow ids,
+    # the local active mask, the workspace-aliased rates and the pending
+    # completion event.
+    state: Dict[str, object] = {"program": None, "workspace": None,
+                                "gids": np.zeros(0, dtype=np.int64),
+                                "local_active": np.zeros(0, dtype=bool),
+                                "rates": np.zeros(0), "last": 0.0,
+                                "pending": None}
+
+    def _compile_epoch(epoch_fabric: FabricModel) -> None:
+        """Compile the live flows (residual sizes) against the epoch fabric."""
+        gids = np.nonzero(active & ~stranded)[0]
+        state["gids"] = gids
+        if len(gids) == 0:
+            state["program"] = None
+            state["workspace"] = None
+            state["local_active"] = np.zeros(0, dtype=bool)
+            state["rates"] = np.zeros(0)
+            return
+        flows = [FluidFlow(path=current_paths[i], size_bytes=remaining[i])
+                 for i in gids]
+        program = compile_flows(topology, flows, epoch_fabric,
+                                include_latency=False)
+        state["program"] = program
+        state["workspace"] = FillWorkspace(program)
+        state["local_active"] = np.ones(len(gids), dtype=bool)
+
+    def _refill() -> None:
+        """Engine-identical re-fill over the survivors; schedule the edge."""
+        pending = state["pending"]
+        if pending is not None:
+            pending.cancel()
+            state["pending"] = None
+        local = state["local_active"]
+        if state["program"] is None or not local.any():
+            return
+        rates, rounds = fill_rates(state["program"], local, state["workspace"])
+        state["rates"] = rates
+        counters["fill_rounds"] += rounds
+        eligible = local & (rates > SIM_EPS)
+        if not eligible.any():
+            raise RuntimeError(
+                "faulted simulation stalled: active flows have zero rate")
+        state["last"] = queue.now
+        gids = state["gids"]
+        dt = float(np.min(remaining[gids[eligible]] / rates[eligible]))
+        state["pending"] = queue.schedule(dt, _on_completion)
+
+    def _integrate() -> None:
+        """Drain the current rates into the global residuals up to now."""
+        dt = queue.now - state["last"]
+        state["last"] = queue.now
+        local = state["local_active"]
+        if dt <= 0 or state["program"] is None or not local.any():
+            return
+        gids = state["gids"]
+        rates = state["rates"]
+        live = gids[local]
+        remaining[live] -= rates[local] * dt
+        done = live[remaining[live] <= SIM_BYTES_EPS]
+        if len(done):
+            remaining[done] = 0.0
+            completion[done] = queue.now + delays[done]
+            active[done] = False
+            local[np.isin(gids, done)] = False
+
+    def _on_completion() -> None:
+        state["pending"] = None
+        _integrate()
+        _refill()
+
+    def _on_epoch(t: float, initial: bool = False) -> None:
+        """A fabric epoch: mutate the fabric, reroute, recompile, refill."""
+        if not initial:
+            counters["fault_events"] += 1
+        _integrate()
+        pending = state["pending"]
+        if pending is not None:
+            pending.cancel()
+            state["pending"] = None
+        epoch_fabric = timeline.fabric_at(fabric, t, edges)
+        down: Set[Tuple[int, int]] = set(epoch_fabric.down_links)
+        adjacency = surviving_adjacency(topology, down)
+        for i in np.nonzero(active)[0]:
+            new_path = effective_path(orig_paths[i], down, adjacency)
+            if new_path is None:
+                if not stranded[i]:
+                    stranded[i] = True
+                    counters["stranded_bytes"] += float(remaining[i])
+                current_paths[i] = None
+            else:
+                stranded[i] = False
+                if new_path != current_paths[i]:
+                    counters["reroutes"] += 1
+                current_paths[i] = new_path
+        live_ids = np.nonzero(active & ~stranded)[0]
+        counters["vc_layers"] = max(
+            counters["vc_layers"],
+            certify_routes([current_paths[i] for i in live_ids], spec.vc))
+        if collect_trace:
+            trace.append(_EpochRecord(
+                time=t, down=tuple(sorted(down)),
+                paths={int(i): current_paths[i] for i in live_ids},
+                stranded=tuple(int(i) for i in np.nonzero(stranded & active)[0])))
+        _compile_epoch(epoch_fabric)
+        _refill()
+
+    # Fabric epochs are scheduled before any completion event exists, so
+    # their sequence numbers are the lowest in the queue: an epoch colliding
+    # with a completion instant deterministically fires first.
+    for t in timeline.epochs:
+        queue.schedule_at(t, lambda t=t: _on_epoch(t))
+
+    _on_epoch(0.0, initial=True)   # fold t=0 events into the starting state
+    try:
+        queue.run(max_events=max_events)
+    except RuntimeError as exc:
+        raise RuntimeError("faulted simulation did not converge") from exc
+
+    record_simulation(counters["fill_rounds"], queue.processed)
+    record_fault_events(counters["fault_events"], counters["reroutes"])
+
+    if active.any():
+        stuck = np.nonzero(active)[0]
+        if not allow_stranded:
+            raise StrandedScheduleError(stuck, float(remaining[stuck].sum()))
+        completion_time = float("inf")
+    else:
+        completion_time = float(completion.max()) if num_flows else 0.0
+
+    meta: Dict[str, object] = {
+        "num_flows": num_flows,
+        "fill_rounds": counters["fill_rounds"],
+        "events": queue.processed,
+        "fault_events": counters["fault_events"],
+        "reroute_count": counters["reroutes"],
+        "stranded_bytes": float(counters["stranded_bytes"]),
+        "vc_layers": counters["vc_layers"],
+        "baseline_seconds": float(baseline_seconds),
+        "robustness_slowdown": (completion_time / baseline_seconds
+                                if baseline_seconds > 0 else float("inf")),
+        "fault_spec": spec.canonical(),
+    }
+    if collect_trace:
+        meta["epoch_trace"] = trace
+    return CollectiveResult(
+        buffer_bytes=buffer_bytes,
+        shard_bytes=shard,
+        completion_time=completion_time,
+        num_nodes=n,
+        schedule_kind="routed",
+        meta=meta,
+    )
+
+
+def run_faulted_sweep(schedule: Union[RoutedSchedule, LinkSchedule],
+                      buffer_sizes: Sequence[float],
+                      spec: Union[FaultSpec, str],
+                      fabric: Optional[FabricModel] = None,
+                      validate_first: bool = True,
+                      max_events: int = 1_000_000) -> List[CollectiveResult]:
+    """Run the faulted schedule across a buffer sweep (simulate-stage entry).
+
+    The schedule is validated once; the zero-fault baseline is computed per
+    buffer point so every result carries its own ``robustness_slowdown``.
+    """
+    if isinstance(spec, str):
+        spec = parse_fault_spec(spec)
+    results: List[CollectiveResult] = []
+    for i, buf in enumerate(buffer_sizes):
+        results.append(run_faulted(
+            schedule, buf, spec, fabric=fabric,
+            validate=validate_first and i == 0,
+            max_events=max_events))
+    return results

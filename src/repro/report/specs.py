@@ -39,7 +39,7 @@ from .aggregate import (
 __all__ = ["SeriesSpec", "PanelSpec", "PanelData", "ArtifactSpec",
            "ThroughputFigureSpec", "run_panel", "REGISTRY", "available_specs",
            "get_spec", "FIG3", "FIG4", "FIG7", "FIG10", "FIG_CLUSTER",
-           "TABLE1"]
+           "FIG_ROBUSTNESS", "TABLE1"]
 
 #: Fixed categorical series colors (validated light-mode palette) — assigned
 #: by *label* from each spec's canonical label order, never by position in a
@@ -715,6 +715,135 @@ class _FigClusterSpec(ArtifactSpec):
 
 
 # --------------------------------------------------------------------------- #
+# fig_robustness — completion-time degradation under dynamic fabric failures
+# --------------------------------------------------------------------------- #
+class _FigRobustnessSpec(ArtifactSpec):
+    """Robustness: completion-time degradation under timed link failures.
+
+    One panel per fault schedule, all sharing a single synthesized MCF-extP
+    schedule (the fault spec enters the simulate stage key only, like the
+    cluster trace).  Two sweeps: failure *count* (k disjoint links failed
+    mid-collective) and failure *timing* (one link failed early / mid / late).
+    The aggregate is a degradation table plus slowdown-vs-count and
+    slowdown-vs-timing curves.
+    """
+
+    spec_id = "fig_robustness"
+    title = "Robustness: completion-time degradation under fabric failures"
+    description = ("Timed link failures injected into one MCF-extP hypercube "
+                   "collective with online BFS rerouting (docs/robustness.md); "
+                   "slowdown is measured against the same schedule on the "
+                   "healthy fabric.  Sweeps failure count (disjoint links "
+                   "failed mid-run) and failure timing (one link, varying "
+                   "epoch).")
+    headline = "faulted"
+    label_order = ("faulted",)
+    _TOPOLOGY = "hypercube:dim=3"
+    _BUF = 2 ** 20
+    #: Disjoint hypercube edges failed in order by the count sweep — a
+    #: partial perfect matching, so the survivor graph stays connected.
+    _LINKS = ("0~1", "2~3", "4~5")
+    _AT_US = 40                           # count-sweep failure time
+
+    def buffers(self, fast: bool = False):
+        return (self._BUF,)
+
+    def counts(self, fast: bool = False) -> Tuple[int, ...]:
+        """Failure counts swept (0 = healthy baseline, slowdown 1)."""
+        return (0, 1, 2) if fast else (0, 1, 2, 3)
+
+    def timings_us(self, fast: bool = False) -> Tuple[int, ...]:
+        """Failure times (microseconds) swept for the single-link panel."""
+        return (80,) if fast else (20, 80, 140)
+
+    def _fault_spec(self, key: str) -> str:
+        if key.startswith("count"):
+            k = int(key[len("count"):])
+            if k == 0:
+                return "faults:up@0"      # trivial: byte-identical healthy run
+            links = "|".join(self._LINKS[:k])
+            return f"faults:down={links}@{self._AT_US}us"
+        t = int(key[len("at"):-len("us")])
+        return f"faults:down={self._LINKS[0]}@{t}us"
+
+    def panels(self, fast: bool = False, scale: str = "small"):
+        keys = [f"count{k}" for k in self.counts(fast)]
+        keys += [f"at{t}us" for t in self.timings_us(fast)]
+        return tuple(
+            PanelSpec(key, self._fault_spec(key), self._TOPOLOGY,
+                      (SeriesSpec("faulted", "mcf-extp"),))
+            for key in keys)
+
+    def scenario(self, panel: PanelSpec, series: SeriesSpec,
+                 buffers: Sequence[float]) -> Scenario:
+        """Panel scenarios carry the panel's fault spec."""
+        return Scenario(
+            topology=panel.topology,
+            fabric=series.fabric or self.fabric,
+            scheme=series.scheme,
+            scheme_params=dict(series.scheme_params),
+            host_bandwidth=panel.host_bandwidth,
+            max_denominator=self.max_denominator,
+            buffers=tuple(buffers),
+            faults=self._fault_spec(panel.key),
+            name=self.scenario_name(panel, series.label),
+        )
+
+    def aggregate_panel(self, panel, results_by_label):
+        # Panels contribute rows to the cross-panel degradation table built
+        # in aggregate(); no per-panel artifacts.
+        return [], [], {}
+
+    def aggregate(self, results, fast: bool = False) -> SpecResult:
+        out = super().aggregate(results, fast)
+        if out.errors:
+            return out
+        by_name = {r.scenario.name: r for r in results}
+        rows = []
+
+        def metrics_of(key: str) -> Mapping[str, object]:
+            panel = self.panel(key)
+            res = by_name[self.scenario_name(panel, "faulted")]
+            metrics = res.metrics
+            rows.append([
+                key,
+                self._fault_spec(key),
+                f"{float(metrics['robustness_slowdown']):.4f}",
+                int(metrics["reroute_count"]),
+                int(metrics["fault_events"]),
+                int(metrics["stranded_bytes"]),
+            ])
+            return metrics
+
+        count_xs = [float(k) for k in self.counts(fast)]
+        count_ys = [float(metrics_of(f"count{k}")["robustness_slowdown"])
+                    for k in self.counts(fast)]
+        time_xs = [float(t) for t in self.timings_us(fast)]
+        time_ys = [float(metrics_of(f"at{t}us")["robustness_slowdown"])
+                   for t in self.timings_us(fast)]
+        out.tables.append(make_table(
+            "robustness", f"Robustness ({self._TOPOLOGY}, MCF-extP, "
+                          f"{self._BUF // 2 ** 10} KiB): slowdown under "
+                          "timed link failures",
+            ["panel", "faults", "slowdown", "reroutes", "fabric events",
+             "stranded B"], rows))
+        out.plots.append(Plot(
+            name="fig_robustness_count",
+            title="Slowdown vs failure count "
+                  f"(disjoint links down at t={self._AT_US}us)",
+            x_label="links failed", y_label="completion-time slowdown",
+            x=count_xs, series={"faulted": count_ys},
+            colors={"faulted": self.series_color("faulted")}))
+        out.plots.append(Plot(
+            name="fig_robustness_timing",
+            title=f"Slowdown vs failure timing (link {self._LINKS[0]} down)",
+            x_label="failure time (us)", y_label="completion-time slowdown",
+            x=time_xs, series={"faulted": time_ys},
+            colors={"faulted": self.series_color("faulted")}))
+        return out
+
+
+# --------------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------------- #
 FIG3 = _Fig3Spec()
@@ -722,12 +851,13 @@ FIG4 = _Fig4Spec()
 FIG7 = _Fig7Spec()
 FIG10 = _Fig10Spec()
 FIG_CLUSTER = _FigClusterSpec()
+FIG_ROBUSTNESS = _FigRobustnessSpec()
 TABLE1 = _Table1Spec()
 
 #: Artifact id -> spec, in report order.
 REGISTRY: Dict[str, ArtifactSpec] = {
     spec.spec_id: spec
-    for spec in (FIG3, FIG4, FIG7, FIG10, FIG_CLUSTER, TABLE1)}
+    for spec in (FIG3, FIG4, FIG7, FIG10, FIG_CLUSTER, FIG_ROBUSTNESS, TABLE1)}
 
 
 def available_specs() -> List[str]:

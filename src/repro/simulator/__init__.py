@@ -27,6 +27,7 @@ from .engine import (
     engine_counters,
     execute,
     fill_rates,
+    record_fault_events,
     record_simulation,
     reset_engine_counters,
     simulate_program,
@@ -63,6 +64,7 @@ __all__ = [
     "engine_counters",
     "execute",
     "fill_rates",
+    "record_fault_events",
     "record_simulation",
     "reset_engine_counters",
     "simulate_program",

@@ -55,7 +55,8 @@ from .fabric import FabricModel
 
 __all__ = ["FluidFlow", "FlowProgram", "EngineResult", "FillWorkspace",
            "compile_flows", "execute", "fill_rates", "simulate_program",
-           "engine_counters", "record_simulation", "reset_engine_counters"]
+           "engine_counters", "record_simulation", "record_fault_events",
+           "reset_engine_counters"]
 
 
 @dataclass
@@ -86,7 +87,8 @@ class FluidFlow:
 # --------------------------------------------------------------------------- #
 _counters: Dict[str, object] = {"fill_rounds": 0, "events": 0,
                                 "simulations": 0, "fill_seconds": 0.0,
-                                "kernel": ""}
+                                "kernel": "", "fabric_events": 0,
+                                "reroutes": 0}
 _counters_lock = threading.Lock()
 
 
@@ -96,6 +98,8 @@ def engine_counters() -> Dict[str, object]:
     ``kernel`` names the fill kernel used by the most recent fill
     (``numba``, ``numpy`` or ``python-csr``); ``fill_seconds`` accumulates
     wall time inside :func:`fill_rates` across the process.
+    ``fabric_events``/``reroutes`` count mid-run fabric mutations and flow
+    re-steers credited by the fault runner (:mod:`repro.faults.runner`).
     """
     with _counters_lock:
         return dict(_counters)
@@ -105,7 +109,8 @@ def reset_engine_counters() -> None:
     """Zero the cumulative counters (tests and benchmarks)."""
     with _counters_lock:
         _counters.update(fill_rounds=0, events=0, simulations=0,
-                         fill_seconds=0.0, kernel="")
+                         fill_seconds=0.0, kernel="", fabric_events=0,
+                         reroutes=0)
 
 
 def _count(fill_rounds: int, events: int) -> None:
@@ -123,6 +128,17 @@ def record_simulation(fill_rounds: int, events: int) -> None:
     their work shows up in the same ``[stats]`` footer as :func:`execute`.
     """
     _count(fill_rounds, events)
+
+
+def record_fault_events(fabric_events: int, reroutes: int) -> None:
+    """Credit fabric mutations / flow re-steers to the engine counters.
+
+    Called by the fault runner after each faulted execution so the
+    ``[stats]`` footer shows dynamic-failure work next to fill rounds.
+    """
+    with _counters_lock:
+        _counters["fabric_events"] += fabric_events
+        _counters["reroutes"] += reroutes
 
 
 # --------------------------------------------------------------------------- #

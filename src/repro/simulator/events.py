@@ -21,22 +21,40 @@ __all__ = ["Event", "EventQueue"]
 class Event:
     """A scheduled event: a callback firing at a simulated time.
 
-    Events with equal time fire in insertion order (the monotonically
-    increasing ``sequence`` breaks ties deterministically).
+    Tie-break contract (the fault runner depends on it): events with equal
+    time fire in **insertion order** — the monotonically increasing
+    ``sequence`` assigned at schedule time breaks ties deterministically.
+    A driver that schedules fabric-epoch events before any completion
+    event is therefore guaranteed the epoch fires first when the two
+    collide on the same timestamp.
     """
 
     time: float
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
-    def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+    def cancel(self) -> bool:
+        """Mark the event cancelled so it is skipped when popped.
+
+        Returns True if the cancellation took effect, False if the event
+        already ran — cancelling an executed event is a harmless no-op (it
+        must not corrupt queue state or un-run the callback), so callers
+        holding a stale handle can always call this unconditionally.
+        """
+        if self.executed:
+            return False
         self.cancelled = True
+        return True
 
 
 class EventQueue:
-    """Priority queue of events keyed by simulated time."""
+    """Priority queue of events keyed by simulated time.
+
+    Equal-time events run in insertion (schedule) order; cancelling an
+    already-executed event is a no-op (see :meth:`Event.cancel`).
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -66,6 +84,9 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            # Mark executed *before* the callback so a handle cancelled from
+            # inside the callback (or later) reports the no-op truthfully.
+            event.executed = True
             self.now = event.time
             self.processed += 1
             event.callback()

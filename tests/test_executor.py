@@ -26,6 +26,7 @@ from repro.experiments import (
     merge_shards,
     run_sweep,
     run_sweep_workers,
+    scenario_schema_version,
     sweep_stats,
 )
 from repro.experiments.executor import (
@@ -69,7 +70,8 @@ def _write_shard(shard_dir, name, records, torn=False):
 
 def _rec(key, status="ok", through="simulate", **extra):
     rec = {"key": key, "status": status, "through": through,
-           "schema_version": 3, "scenario": {}, "metrics": {"f": 1.0}}
+           "schema_version": scenario_schema_version(),
+           "scenario": {}, "metrics": {"f": 1.0}}
     rec.update(extra)
     return rec
 

@@ -1,0 +1,556 @@
+"""Tests for dynamic fabric failures with online rerouting (repro.faults).
+
+The heart is the differential oracle: every faulted run must agree (1e-9)
+with a hand-stitched sequence of piecewise-static degraded runs — the fabric
+materialized per fault epoch, residual bytes carried across the boundary,
+rates from the retained scalar reference (:mod:`repro.simulator.reference`).
+Around it: zero-fault byte-identity with today's engine, seeded fuzz
+invariants (monotonicity under added failures, no-op recoveries, canonical
+hashing, the per-epoch incidence check), spec-grammar errors, adversarial
+search determinism, and the scenario/sweep/CLI wiring.
+"""
+
+import random
+from pathlib import Path
+
+import networkx as nx
+import pytest
+
+from repro.constants import SIM_BYTES_EPS, SIM_EPS
+from repro.experiments import Plan, Scenario, run_sweep
+from repro.faults import (
+    FaultSpec,
+    StrandedScheduleError,
+    parse_fault_spec,
+    ranked_physical_links,
+    repair_path,
+    run_faulted,
+    surviving_adjacency,
+    worst_case_failures,
+)
+from repro.faults.spec import FaultTimeline
+from repro.faults.reroute import effective_path
+from repro.perf import set_fill_kernel
+from repro.simulator import (
+    FluidFlow,
+    cerio_hpc_fabric,
+    fabric_from_spec,
+    run_routed_collective,
+)
+from repro.simulator.reference import max_min_rates_reference
+from repro.topology import from_spec
+
+GOLDEN = Path(__file__).parent / "golden"
+
+KERNELS = ("numba", "numpy", "python-csr")
+
+
+@pytest.fixture()
+def kernel_guard():
+    """Restore env-driven kernel selection after a forced-kernel test."""
+    yield
+    set_fill_kernel(None)
+
+
+def _lowered(topology: str, scheme: str = "ewsp"):
+    """Synthesize + lower one scenario to its RoutedSchedule."""
+    return Plan(Scenario(topology=topology, scheme=scheme,
+                         max_denominator=16)).run("lower").lowered
+
+
+def piecewise_static_oracle(schedule, buffer_bytes, spec, fabric):
+    """Hand-stitched oracle: one static scalar run per fault epoch.
+
+    Materializes the effective fabric at every epoch boundary, recomputes
+    each survivor's route (original if clear, BFS repair otherwise), and
+    advances the scalar reference's progressive-filling loop inside the
+    epoch, carrying residual bytes across boundaries.  Stranded flows park.
+    Mirrors the engine's thresholds (SIM_EPS / SIM_BYTES_EPS) and its
+    latency rule: completion latency from the *originally planned* route.
+    """
+    spec = parse_fault_spec(spec) if isinstance(spec, str) else spec
+    timeline = FaultTimeline(spec)
+    topo = schedule.topology
+    edges = tuple(topo.edges)
+    shard = buffer_bytes / topo.num_nodes
+    orig = [tuple(a.route) for a in schedule.assignments]
+    sizes = [a.chunk.bytes(shard) for a in schedule.assignments]
+    delays = [fabric.per_message_overhead + (len(p) - 1) * fabric.per_hop_latency
+              for p in orig]
+    remaining = list(sizes)
+    completion = [0.0 if sizes[i] > SIM_EPS else delays[i]
+                  for i in range(len(orig))]
+    active = {i for i in range(len(orig)) if sizes[i] > SIM_EPS}
+
+    now = 0.0
+    epoch_times = [0.0] + list(timeline.epochs)
+    for idx, t0 in enumerate(epoch_times):
+        t_next = (epoch_times[idx + 1] if idx + 1 < len(epoch_times)
+                  else float("inf"))
+        epoch_fabric = timeline.fabric_at(fabric, t0, edges)
+        down = set(epoch_fabric.down_links)
+        adjacency = surviving_adjacency(topo, down)
+        paths = {}
+        for i in sorted(active):
+            paths[i] = effective_path(orig[i], down, adjacency)
+        while True:
+            live = [i for i in sorted(active) if paths[i] is not None]
+            if not live:
+                break
+            flows = [FluidFlow(path=paths[i], size_bytes=remaining[i])
+                     for i in live]
+            rates = max_min_rates_reference(flows, list(range(len(live))),
+                                            topo, epoch_fabric)
+            dts = [remaining[i] / rates[j] for j, i in enumerate(live)
+                   if rates[j] > SIM_EPS]
+            if not dts:
+                raise RuntimeError("oracle stalled: live flows have zero rate")
+            dt = min(min(dts), t_next - now)
+            for j, i in enumerate(live):
+                remaining[i] -= rates[j] * dt
+            now += dt
+            for i in list(live):
+                if remaining[i] <= SIM_BYTES_EPS:
+                    remaining[i] = 0.0
+                    completion[i] = now + delays[i]
+                    active.discard(i)
+            if now >= t_next:
+                break
+        if not active:
+            break
+        now = max(now, min(t_next, max(completion)) if t_next == float("inf")
+                  else t_next)
+        if t_next != float("inf"):
+            now = t_next
+    if active:
+        raise StrandedScheduleError(sorted(active),
+                                    sum(remaining[i] for i in active))
+    return max(completion), completion
+
+
+def _random_fault_spec(topology, rng, baseline_seconds, allow_recovery=True):
+    """A random non-stranding fault schedule inside the baseline window.
+
+    Symmetric links are failed one by one while the survivor graph stays
+    connected; some failures recover at a later epoch.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(topology.nodes)
+    graph.add_edges_from(topology.edges)
+    sym_links = sorted({tuple(sorted(e)) for e in topology.edges})
+    rng.shuffle(sym_links)
+    downs = []
+    for (u, v) in sym_links:
+        if len(downs) >= 2:
+            break
+        removed = [e for e in ((u, v), (v, u)) if graph.has_edge(*e)]
+        graph.remove_edges_from(removed)
+        if nx.is_strongly_connected(graph):
+            downs.append((u, v))
+        else:
+            graph.add_edges_from(removed)
+    parts = []
+    for (u, v) in downs:
+        t_us = rng.uniform(0.05, 0.8) * baseline_seconds * 1e6
+        parts.append(f"down={u}~{v}@{t_us:.3f}us")
+        if allow_recovery and rng.random() < 0.5:
+            t_up = rng.uniform(t_us / 1e6, 1.2 * baseline_seconds) * 1e6
+            parts.append(f"up={u}~{v}@{t_up:.3f}us")
+    if rng.random() < 0.5:
+        (u, v) = rng.choice(sym_links)
+        t_us = rng.uniform(0.05, 0.8) * baseline_seconds * 1e6
+        parts.append(f"scale={u}~{v}*0.5@{t_us:.3f}us")
+    return "faults:" + ":".join(parts) if parts else "faults:up@0"
+
+
+class TestDifferentialOracle:
+    """Faulted runs agree with the piecewise-static oracle within 1e-9."""
+
+    CASES = [("ring:n=6", "ewsp"), ("hypercube:dim=3", "ewsp"),
+             ("torus:dims=3x3", "ewsp"), ("hypercube:dim=3", "mcf-extp")]
+
+    @pytest.mark.parametrize("topology,scheme", CASES)
+    def test_randomized_fault_schedules_agree(self, topology, scheme):
+        schedule = _lowered(topology, scheme)
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        baseline = run_routed_collective(schedule, buf, fabric=fabric,
+                                         validate=False).completion_time
+        topo = from_spec(topology)
+        for seed in range(3):
+            rng = random.Random(f"{topology}/{scheme}/{seed}")
+            spec = _random_fault_spec(topo, rng, baseline)
+            res = run_faulted(schedule, buf, spec, fabric=fabric,
+                              validate=False, baseline_seconds=baseline)
+            want, _ = piecewise_static_oracle(schedule, buf, spec, fabric)
+            assert res.completion_time == pytest.approx(want, abs=1e-9), spec
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_all_kernels_agree_with_oracle(self, kernel, kernel_guard):
+        set_fill_kernel(kernel)
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        fabric = cerio_hpc_fabric()
+        spec = "faults:down=0~1@10us:down=2~3@30us:up=0~1@60us"
+        res = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                          validate=False)
+        want, _ = piecewise_static_oracle(schedule, 2 ** 20, spec, fabric)
+        assert res.completion_time == pytest.approx(want, abs=1e-9)
+
+    def test_degraded_base_fabric_composes_with_faults(self):
+        # Fault-layer downs stack on top of a statically degraded base.
+        schedule = _lowered("hypercube:dim=3")
+        fabric = fabric_from_spec("hpc:scale=0~2:0.5")
+        spec = "faults:down=0~1@20us"
+        res = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                          validate=False)
+        want, _ = piecewise_static_oracle(schedule, 2 ** 20, spec, fabric)
+        assert res.completion_time == pytest.approx(want, abs=1e-9)
+
+    def test_recovery_after_stranding_resumes_flows(self):
+        # Disconnect node 5 of a ring entirely, then recover: flows park
+        # while stranded and finish after the link comes back.
+        schedule = _lowered("ring:n=6")
+        fabric = cerio_hpc_fabric()
+        spec = "faults:down=4~5|5~0@5us:up@100us"
+        res = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                          validate=False, collect_trace=True)
+        want, _ = piecewise_static_oracle(schedule, 2 ** 20, spec, fabric)
+        assert res.completion_time == pytest.approx(want, abs=1e-9)
+        assert res.completion_time > 100e-6
+        assert any(rec.stranded for rec in res.meta["epoch_trace"])
+
+    def test_stranded_without_recovery_raises(self):
+        schedule = _lowered("ring:n=6")
+        with pytest.raises(StrandedScheduleError, match="allow_stranded"):
+            run_faulted(schedule, 2 ** 20, "faults:down=4~5|5~0@5us",
+                        fabric=cerio_hpc_fabric(), validate=False)
+
+    def test_allow_stranded_reports_infinite_slowdown(self):
+        schedule = _lowered("ring:n=6")
+        res = run_faulted(schedule, 2 ** 20, "faults:down=4~5|5~0@5us",
+                          fabric=cerio_hpc_fabric(), validate=False,
+                          allow_stranded=True)
+        assert res.completion_time == float("inf")
+        assert res.meta["robustness_slowdown"] == float("inf")
+        assert res.meta["stranded_bytes"] > 0
+
+
+class TestZeroFaultIdentity:
+    """No-op fault timelines reproduce today's engine byte-for-byte."""
+
+    @pytest.mark.parametrize("spec", ["faults:up@0", "faults:up@0:seed=3",
+                                      "faults:up=0~1@0"])
+    def test_trivial_specs_delegate_to_plain_engine(self, spec):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        fabric = cerio_hpc_fabric()
+        plain = run_routed_collective(schedule, 2 ** 20, fabric=fabric,
+                                      validate=False)
+        faulted = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                              validate=False)
+        assert faulted.completion_time == plain.completion_time  # exact
+        assert faulted.throughput == plain.throughput
+        assert faulted.meta["robustness_slowdown"] == 1.0
+        assert faulted.meta["reroute_count"] == 0
+        assert faulted.meta["fault_events"] == 0
+
+    def test_zero_fault_scenario_metrics_match_plain(self):
+        base = Scenario(topology="hypercube:dim=2", scheme="ewsp",
+                        buffers=(2 ** 20,))
+        trivial = Scenario(topology="hypercube:dim=2", scheme="ewsp",
+                           buffers=(2 ** 20,), faults="faults:up@0")
+        t_plain = Plan(base).run().sim_results[0].completion_time
+        t_triv = Plan(trivial).run().sim_results[0].completion_time
+        assert t_triv == t_plain  # exact, not approx
+
+
+class TestFuzzInvariants:
+    """Seeded property tests over the fault model."""
+
+    def test_completion_monotone_in_added_down_events(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        baseline = run_routed_collective(schedule, buf, fabric=fabric,
+                                         validate=False).completion_time
+        # Disjoint hypercube links added one at a time, same instant.
+        links = ["0~1", "2~3", "4~5"]
+        prev = baseline
+        for k in range(1, len(links) + 1):
+            spec = f"faults:down={'|'.join(links[:k])}@40us"
+            t = run_faulted(schedule, buf, spec, fabric=fabric,
+                            validate=False,
+                            baseline_seconds=baseline).completion_time
+            assert t >= prev - 1e-12
+            prev = t
+
+    def test_up_at_zero_is_a_noop(self):
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        spec = "faults:down=0~1@10us"
+        with_up = "faults:up=4~5@0:down=0~1@10us"
+        a = run_faulted(schedule, 2 ** 20, spec, fabric=fabric, validate=False)
+        b = run_faulted(schedule, 2 ** 20, with_up, fabric=fabric,
+                        validate=False)
+        assert a.completion_time == b.completion_time
+
+    def test_canonical_hash_stable_under_key_reordering(self):
+        a = parse_fault_spec("faults:down=0~1@0.5ms:up@1.2ms:seed=7")
+        b = parse_fault_spec("faults:seed=7:up@1.2ms:down=0~1@0.5ms")
+        assert a.canonical() == b.canonical()
+        assert a == b
+        sa = Scenario(topology="ring:n=4", scheme="ewsp", buffers=(2 ** 20,),
+                      faults="faults:down=0~1@0.5ms:up@1.2ms:seed=7")
+        sb = Scenario(topology="ring:n=4", scheme="ewsp", buffers=(2 ** 20,),
+                      faults="faults:seed=7:up@1.2ms:down=0~1@0.5ms")
+        assert sa.key() == sb.key()
+        assert sa.stage_key("simulate") == sb.stage_key("simulate")
+
+    def test_no_flow_routes_across_a_down_link(self):
+        # Per-epoch incidence check over randomized schedules.
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        fabric = cerio_hpc_fabric()
+        baseline = run_routed_collective(schedule, 2 ** 20, fabric=fabric,
+                                         validate=False).completion_time
+        topo = from_spec("hypercube:dim=3")
+        for seed in range(4):
+            rng = random.Random(1000 + seed)
+            spec = _random_fault_spec(topo, rng, baseline)
+            res = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                              validate=False, collect_trace=True,
+                              baseline_seconds=baseline)
+            trace = res.meta["epoch_trace"]
+            assert trace, "expected at least the initial epoch record"
+            for rec in trace:
+                down = set(rec.down)
+                for fid, path in rec.paths.items():
+                    hops = set(zip(path, path[1:]))
+                    assert not (hops & down), (
+                        f"flow {fid} crosses {hops & down} at t={rec.time}")
+
+    def test_fault_epochs_increase_vc_layers_at_most(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        res = run_faulted(schedule, 2 ** 20, "faults:down=0~1@10us",
+                          fabric=cerio_hpc_fabric(), validate=False)
+        assert res.meta["vc_layers"] >= 1
+
+
+class TestSpecGrammar:
+    def test_time_suffixes(self):
+        spec = parse_fault_spec("faults:down=0~1@1ms:up=0~1@2500us:scale=2-3*0.5@1.5s")
+        times = sorted(e.time for e in spec.events)
+        assert times == pytest.approx([0.001, 0.0025, 1.5])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            parse_fault_spec("faults:explode=1@1ms")
+
+    def test_duplicate_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            parse_fault_spec("faults:seed=1:seed=2")
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(ValueError, match="faults:"):
+            parse_fault_spec("down=0~1@1ms")
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            parse_fault_spec("faults:scale=0~1*0@1ms")
+
+    def test_straggler_expands_to_incident_links(self):
+        spec = parse_fault_spec("faults:straggler=3*0.25@1ms")
+        topo = from_spec("hypercube:dim=3")
+        down, factors = FaultTimeline(spec).state_at(0.002, tuple(topo.edges))
+        assert not down
+        assert factors and all(3 in link for link in factors)
+        assert all(f == pytest.approx(0.25) for f in factors.values())
+
+    def test_simultaneous_up_down_leaves_link_down(self):
+        # Canonical order fires "up" before "down" at equal times.
+        spec = parse_fault_spec("faults:down=0~1@1ms:up=0~1@1ms")
+        topo = from_spec("ring:n=4")
+        down, _ = FaultTimeline(spec).state_at(0.001, tuple(topo.edges))
+        assert down == {(0, 1), (1, 0)}
+
+    def test_repr_roundtrip_via_canonical(self):
+        spec = parse_fault_spec("faults:down=0~1@0.5ms")
+        assert isinstance(spec, FaultSpec)
+        assert spec.canonical()[0] == "faults"
+
+
+class TestReroute:
+    def test_repair_path_is_lexicographically_smallest_shortest(self):
+        topo = from_spec("hypercube:dim=3")
+        adjacency = surviving_adjacency(topo, {(0, 1), (1, 0)})
+        path = repair_path(0, 1, adjacency)
+        # Shortest detours are 0-2-3-1 / 0-4-5-1; BFS picks the smallest.
+        assert path == (0, 2, 3, 1)
+
+    def test_repair_path_none_when_disconnected(self):
+        topo = from_spec("ring:n=4")
+        down = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert repair_path(0, 1, surviving_adjacency(topo, down)) is None
+
+    def test_effective_path_prefers_original(self):
+        topo = from_spec("ring:n=4")
+        adjacency = surviving_adjacency(topo, set())
+        assert effective_path((0, 1, 2), set(), adjacency) == (0, 1, 2)
+
+
+class TestAdversarial:
+    def test_exhaustive_search_is_deterministic_and_worst_first(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        a = worst_case_failures(schedule, 2 ** 20, k=1, candidates=4,
+                                mode="exhaustive")
+        b = worst_case_failures(schedule, 2 ** 20, k=1, candidates=4,
+                                mode="exhaustive")
+        assert a.worst_links == b.worst_links
+        assert a.worst_slowdown == b.worst_slowdown
+        assert a.worst_slowdown >= 1.0
+        assert len(a.evaluations) == 4
+
+    def test_greedy_mode_evaluates_fewer_sets(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        greedy = worst_case_failures(schedule, 2 ** 20, k=2, candidates=4,
+                                     mode="greedy")
+        assert greedy.k == 2 and len(greedy.worst_links) == 2
+        assert greedy.worst_slowdown >= 1.0
+
+    def test_disconnection_is_worst_case(self):
+        # On a ring, any 2-link cut disconnects: slowdown must be inf.
+        schedule = _lowered("ring:n=4")
+        res = worst_case_failures(schedule, 2 ** 20, k=2, candidates=4,
+                                  mode="exhaustive")
+        assert res.worst_slowdown == float("inf")
+
+    def test_ranked_links_cover_schedule_load(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        ranked = ranked_physical_links(schedule, 2 ** 20)
+        loads = [load for _link, load in ranked]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_worst_spec_is_parseable(self):
+        schedule = _lowered("hypercube:dim=3", "mcf-extp")
+        res = worst_case_failures(schedule, 2 ** 20, k=1, candidates=3)
+        spec = res.worst_spec()
+        assert isinstance(spec, FaultSpec)
+        downs = [e for e in spec.events if e.kind == "down"]
+        assert downs and downs[0].time == pytest.approx(res.at_seconds)
+        failed = {tuple(sorted(link)) for e in downs for link in e.links}
+        assert failed == set(res.worst_links)
+
+
+class TestScenarioWiring:
+    def test_faults_enter_simulate_stage_key_only(self):
+        base = Scenario(topology="hypercube:dim=3", scheme="mcf-extp",
+                        buffers=(2 ** 20,))
+        faulted = Scenario(topology="hypercube:dim=3", scheme="mcf-extp",
+                           buffers=(2 ** 20,), faults="faults:down=0~1@10us")
+        for stage in ("synthesize", "lower", "validate"):
+            assert base.stage_key(stage) == faulted.stage_key(stage)
+        assert base.stage_key("simulate") != faulted.stage_key("simulate")
+        assert base.key() != faulted.key()
+
+    def test_invalid_faults_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            Scenario(topology="ring:n=4", faults="faults:bogus=1@1ms")
+
+    def test_faults_and_cluster_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="cluster"):
+            Scenario(topology="ring:n=4", faults="faults:down=0~1@1ms",
+                     cluster="cluster:jobs=2:arrival=poisson~100"
+                             ":placement=packed:seed=0")
+
+    def test_faults_and_overlap_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Scenario(topology="ring:n=4", faults="faults:down=0~1@1ms",
+                     overlap=2)
+
+    def test_sweep_record_carries_fault_metrics(self, tmp_path):
+        scenario = Scenario(topology="hypercube:dim=2", scheme="ewsp",
+                            buffers=(2 ** 20,), faults="faults:down=0~1@5us")
+        record = run_sweep([scenario],
+                           out_path=str(tmp_path / "f.jsonl"))[0]
+        assert record.status == "ok"
+        assert record.metrics["robustness_slowdown"] >= 1.0
+        assert record.metrics["reroute_count"] >= 1
+        assert record.metrics["fault_events"] == 1
+        assert record.metrics["stranded_bytes"] == 0.0
+
+    def test_faulted_sweep_shares_synthesized_schedule(self, tmp_path):
+        # The warm re-run over a faults grid must solve zero new LPs.
+        from repro.engine import get_engine, reset_engine
+        from repro.experiments import reset_plan_cache
+
+        reset_engine()
+        reset_plan_cache()
+        try:
+            grid = [Scenario(topology="hypercube:dim=2", scheme="mcf-extp",
+                             max_denominator=16, buffers=(2 ** 20,),
+                             faults=f)
+                    for f in (None, "faults:down=0~1@5us",
+                              "faults:down=0~1@5us:up@20us")]
+            run_sweep(grid, out_path=str(tmp_path / "a.jsonl"))
+            engine = get_engine()
+            misses = engine.cache.misses
+            assert misses > 0
+            results = run_sweep(grid, out_path=str(tmp_path / "b.jsonl"))
+            assert engine.cache.misses == misses
+            assert all(r.stage_cache["synthesize"] == "hit" for r in results)
+        finally:
+            reset_engine()
+            reset_plan_cache()
+
+    def test_sweep_resume_skips_completed_faulted_records(self, tmp_path):
+        out = str(tmp_path / "resume.jsonl")
+        grid = [Scenario(topology="hypercube:dim=2", scheme="ewsp",
+                         buffers=(2 ** 20,), faults="faults:down=0~1@5us")]
+        first = run_sweep(grid, out_path=out)
+        assert first[0].resumed is False
+        again = run_sweep(grid, out_path=out, resume=True)
+        assert again[0].resumed is True
+        assert len(open(out).readlines()) == 1
+
+
+class TestGoldenRobustness:
+    def test_fig_robustness_matches_golden_file(self):
+        from repro.experiments import result_from_plan
+        from repro.report.specs import FIG_ROBUSTNESS
+
+        spec = FIG_ROBUSTNESS
+        results = [result_from_plan(s, Plan(s).run(through=spec.through),
+                                    through=spec.through)
+                   for s in spec.scenarios(fast=True)]
+        out = spec.aggregate(results, fast=True)
+        assert not out.errors
+        expected = (GOLDEN / "fig_robustness.txt").read_text()
+        assert out.tables[0].text + "\n" == expected
+
+
+class TestCli:
+    def test_simulate_with_faults_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "hypercube:dim=2", "--scheme", "ewsp",
+                     "--buffers", "1048576",
+                     "--faults", "faults:down=0~1@5us"]) == 0
+        captured = capsys.readouterr()
+        assert "slowdown" in captured.out
+        assert "reroute" in captured.out
+        assert "fabric events" in captured.err
+
+    def test_robustness_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "rob.jsonl")
+        assert main(["robustness", "hypercube:dim=2", "--scheme", "ewsp",
+                     "--faults", "faults:down=0~1@5us", "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "slowdown" in captured.out
+        assert len(open(out).readlines()) == 1
+
+    def test_robustness_adversarial(self, capsys):
+        from repro.cli import main
+
+        assert main(["robustness", "hypercube:dim=2", "--scheme", "ewsp",
+                     "--adversarial", "1", "--candidates", "2"]) == 0
+        assert "worst case" in capsys.readouterr().out

@@ -244,6 +244,66 @@ class TestOverlap:
         assert len(times) == 2
 
 
+class TestEventQueue:
+    """Regression tests for the scheduler edge cases the fault runner leans on."""
+
+    def test_cancel_after_pop_is_noop_and_reports_false(self):
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        fired = []
+        first = queue.schedule(1.0, lambda: fired.append("first"))
+        queue.schedule(2.0, lambda: fired.append("second"))
+        assert queue.step()
+        assert first.executed
+        # Cancelling the already-popped event must not corrupt the queue.
+        assert first.cancel() is False
+        queue.run()
+        assert fired == ["first", "second"]
+        assert queue.processed == 2
+
+    def test_cancel_before_pop_reports_true_and_skips(self):
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        fired = []
+        victim = queue.schedule(1.0, lambda: fired.append("victim"))
+        queue.schedule(2.0, lambda: fired.append("kept"))
+        assert victim.cancel() is True
+        assert victim.cancel() is True  # idempotent while unexecuted
+        queue.run()
+        assert fired == ["kept"]
+        assert queue.processed == 1
+
+    def test_equal_timestamp_events_fire_in_insertion_order(self):
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        fired = []
+        # Scheduled out of lexical order on the same timestamp: insertion
+        # order (the sequence counter) must win, deterministically.
+        queue.schedule_at(5.0, lambda: fired.append("a"))
+        queue.schedule_at(5.0, lambda: fired.append("b"))
+        queue.schedule_at(3.0, lambda: fired.append("early"))
+        queue.schedule_at(5.0, lambda: fired.append("c"))
+        queue.run()
+        assert fired == ["early", "a", "b", "c"]
+
+    def test_cancel_from_inside_own_callback_reports_false(self):
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        results = []
+        holder = {}
+
+        def callback():
+            results.append(holder["event"].cancel())
+
+        holder["event"] = queue.schedule(1.0, callback)
+        queue.run()
+        assert results == [False]
+
+
 class TestStepSimEdgeCases:
     def test_single_flow_schedule(self):
         """A schedule with exactly one send (satellite edge case)."""
