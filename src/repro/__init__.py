@@ -25,7 +25,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "analysis",

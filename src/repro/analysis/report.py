@@ -56,6 +56,19 @@ def format_engine_footer(engine_stats: Mapping[str, object],
             # fault runner actually mutated a fabric this process.
             line += (f"; faults: {sim_stats['fabric_events']} fabric events "
                      f"/ {sim_stats.get('reroutes', 0)} reroutes")
+            compile_s = float(sim_stats.get("compile_seconds", 0.0))
+            reroute_s = float(sim_stats.get("reroute_seconds", 0.0))
+            if compile_s or reroute_s:
+                line += (f" [{compile_s:.3f}s compile, "
+                         f"{reroute_s:.3f}s reroute]")
+        delta_ops = (sim_stats.get("delta_hits", 0)
+                     or sim_stats.get("delta_rebuilds", 0))
+        if delta_ops:
+            # Incremental-engine accounting (repro.perf.delta).
+            line += (f"; delta: {sim_stats.get('delta_hits', 0)} hits / "
+                     f"{sim_stats.get('delta_rebuilds', 0)} rebuilds, "
+                     f"route-cache: {sim_stats.get('route_cache_hits', 0)} "
+                     f"hits / {sim_stats.get('route_cache_misses', 0)} misses")
     if executor_stats is not None:
         per_worker = "/".join(str(c) for c in executor_stats.get("completed", []))
         line += (f"; exec: {executor_stats.get('workers', 0)} workers "

@@ -367,7 +367,8 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         adv = worst_case_failures(
             lowered, float(args.buffer), k=args.adversarial,
             fabric=scenario.resolved_fabric(), at=args.at,
-            candidates=args.candidates, mode=args.mode, seed=args.seed)
+            candidates=args.candidates, mode=args.mode, seed=args.seed,
+            jobs=args.jobs)
         rows = []
         for ev in adv.evaluations:
             if len(ev["links"]) != adv.k:
@@ -654,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip fault specs whose key already has an ok "
                             "record in --out")
     p_rob.add_argument("--jobs", type=int, default=1,
-                       help="fault scenarios executed concurrently (threads)")
+                       help="fault scenarios (and adversarial candidate "
+                            "evaluations) executed concurrently (threads)")
     p_rob.add_argument("--lp-jobs", type=int, default=1,
                        help="child-LP workers within each scenario")
     p_rob.set_defaults(func=_cmd_robustness)

@@ -6,11 +6,17 @@ opposite: flow *sets* appear when a job's comm phase starts and retire when
 it drains, while the survivors keep max-min fair sharing the same fabric.
 :class:`FlowInjector` owns that live program — it compiles each injected
 batch with the engine's own :func:`~repro.simulator.engine.compile_flows`
-(so degraded fabrics, injection and forwarding caps behave identically),
-concatenates the sparse incidence onto the live arrays, and compacts them
-when flows complete.  Rates always come from the engine's
-:func:`~repro.simulator.engine.fill_rates`, which is why the
-zero-contention limit reproduces single-collective runs exactly.
+(so degraded fabrics, injection and forwarding caps behave identically)
+and concatenates the sparse incidence onto the live arrays.  Rates always
+come from the engine's :func:`~repro.simulator.engine.fill_rates`, which is
+why the zero-contention limit reproduces single-collective runs exactly.
+
+Retirement is lazy, the same delta move :mod:`repro.perf.delta` makes for
+fabric epochs: a completed flow is only *deactivated* (its row leaves the
+fill mask, so the kernels pin its rate to zero) and the arrays are
+compacted wholesale only once dead rows outnumber live ones — turning the
+per-completion O(nnz) rebuild into an amortized one.  ``compactions``
+counts the sweeps.
 """
 
 from __future__ import annotations
@@ -46,14 +52,21 @@ class FlowInjector:
         self._set_ids = np.zeros(0, dtype=np.int64)
         self._inc_res = np.zeros(0, dtype=np.int64)
         self._inc_flow = np.zeros(0, dtype=np.int64)
+        self._live = np.zeros(0, dtype=bool)
+        self._live_count = 0
+        self.compactions = 0
         self._set_names: List[str] = []
         self._program: Optional[FlowProgram] = None
         self._workspace: Optional[FillWorkspace] = None
 
     @property
     def num_flows(self) -> int:
-        """Number of live (not yet retired) flows."""
-        return len(self._sizes)
+        """Number of live (not yet retired) flows.
+
+        Dead rows may still sit in the arrays until the next lazy
+        compaction; they are invisible here and carry zero rate in fills.
+        """
+        return self._live_count
 
     @property
     def remaining(self) -> np.ndarray:
@@ -76,7 +89,7 @@ class FlowInjector:
         compiled = compile_flows(self.topology, flows, self.fabric)
         set_id = len(self._set_names)
         self._set_names.append(name)
-        offset = self.num_flows
+        offset = len(self._sizes)
         self._inc_res = np.concatenate([self._inc_res, compiled.inc_res])
         self._inc_flow = np.concatenate(
             [self._inc_flow, compiled.inc_flow + offset])
@@ -87,6 +100,9 @@ class FlowInjector:
         self._set_ids = np.concatenate(
             [self._set_ids,
              np.full(len(flows), set_id, dtype=np.int64)])
+        self._live = np.concatenate(
+            [self._live, np.ones(len(flows), dtype=bool)])
+        self._live_count += len(flows)
         link_entries = compiled.inc_res < self.num_links
         self.link_bytes += float(
             compiled.sizes[compiled.inc_flow[link_entries]].sum())
@@ -107,7 +123,7 @@ class FlowInjector:
         """
         if self._program is None:
             self._program = FlowProgram(
-                num_flows=self.num_flows,
+                num_flows=len(self._sizes),
                 sizes=self._sizes,
                 start_delays=self._delays,
                 set_ids=self._set_ids,
@@ -129,10 +145,10 @@ class FlowInjector:
 
         The returned rate vector aliases the cached workspace and is
         overwritten by the next fill; the cluster runner integrates it
-        before re-filling, so no copy is taken.
+        before re-filling, so no copy is taken.  Rows retired but not yet
+        compacted are inactive — the kernels pin their rate to zero.
         """
-        active = np.ones(self.num_flows, dtype=bool)
-        return fill_rates(self.program(), active, self.workspace())
+        return fill_rates(self.program(), self._live, self.workspace())
 
     def advance(self, rates: np.ndarray, dt: float) -> None:
         """Drain ``rates * dt`` bytes from every live flow."""
@@ -150,19 +166,32 @@ class FlowInjector:
         self._remaining[mask] = 0.0
 
     def retire(self) -> List[Tuple[int, float]]:
-        """Drop completed flows (remaining <= eps) and compact the arrays.
+        """Retire completed flows (remaining <= eps); lazily compact.
 
         Returns one ``(set_id, start_delay)`` pair per retired flow — the
         caller timestamps the completion as ``now + start_delay``, matching
         the engine's completion semantics (latency lands after the
         transfer, without the flow holding bandwidth meanwhile).
+
+        Retired rows are only deactivated here (O(live) per call, and the
+        cached program/workspace stay warm); the O(nnz) array compaction
+        runs once dead rows outnumber live ones.
         """
-        done = self._remaining <= SIM_BYTES_EPS
+        done = self._live & (self._remaining <= SIM_BYTES_EPS)
         if not done.any():
             return []
         retired = [(int(self._set_ids[i]), float(self._delays[i]))
                    for i in np.nonzero(done)[0]]
-        keep = ~done
+        self._live &= ~done
+        self._live_count -= int(done.sum())
+        dead = len(self._sizes) - self._live_count
+        if dead > self._live_count and len(self._sizes) >= 16:
+            self._compact()
+        return retired
+
+    def _compact(self) -> None:
+        """Drop every dead row and reindex the incidence entries."""
+        keep = self._live
         new_index = np.cumsum(keep) - 1
         entry_keep = keep[self._inc_flow]
         self._inc_res = self._inc_res[entry_keep]
@@ -171,5 +200,6 @@ class FlowInjector:
         self._remaining = self._remaining[keep]
         self._delays = self._delays[keep]
         self._set_ids = self._set_ids[keep]
+        self._live = np.ones(self._live_count, dtype=bool)
+        self.compactions += 1
         self._invalidate()
-        return retired

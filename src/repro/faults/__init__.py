@@ -7,7 +7,10 @@ and straggler hosts; :mod:`.runner` injects them as events into the fluid
 engine's queue, rerouting in-flight flows deterministically around down
 links (:mod:`.reroute`, certified deadlock-free through LASH / DF-SSSP)
 and re-filling incrementally over the survivors; :mod:`.adversarial`
-searches worst-case k-link failure sets against a schedule.
+searches worst-case k-link failure sets against a schedule (optionally in
+parallel via ``jobs``).  :mod:`.context` hoists per-flow arrays, the
+compiled delta template (:mod:`repro.perf.delta`) and the shared
+reroute/certification caches so sweeps and searches pay the setup once.
 
 Correctness is pinned by ``tests/test_faults.py``: every faulted run must
 agree to 1e-9 with a hand-stitched sequence of piecewise-static engine
@@ -19,6 +22,7 @@ from .adversarial import (
     ranked_physical_links,
     worst_case_failures,
 )
+from .context import PreparedFaultContext, RerouteCache
 from .reroute import (
     certify_routes,
     down_set,
@@ -26,7 +30,8 @@ from .reroute import (
     repair_path,
     surviving_adjacency,
 )
-from .runner import StrandedScheduleError, run_faulted, run_faulted_sweep
+from .runner import (FaultPrefix, StrandedScheduleError, capture_fault_prefix,
+                     run_faulted, run_faulted_sweep)
 from .spec import (
     VC_POLICIES,
     FaultEvent,
@@ -44,7 +49,11 @@ __all__ = [
     "effective_path",
     "repair_path",
     "surviving_adjacency",
+    "PreparedFaultContext",
+    "RerouteCache",
+    "FaultPrefix",
     "StrandedScheduleError",
+    "capture_fault_prefix",
     "run_faulted",
     "run_faulted_sweep",
     "VC_POLICIES",

@@ -21,6 +21,17 @@ searches failure sets against one schedule + buffer point:
   heaviest-loaded links.  ``seed`` is reserved for randomized candidate
   sampling and is recorded in the result.
 
+The search batches its shared work.  One
+:class:`~repro.faults.context.PreparedFaultContext` hoists the per-flow
+arrays, the compiled delta template and the reroute caches for every
+candidate; the healthy pre-strike prefix — identical for every candidate,
+which only diverges at ``at`` — is simulated once
+(:func:`~repro.faults.runner.capture_fault_prefix`) and resumed per
+evaluation.  Candidate evaluations fan out across the shared
+:class:`~repro.engine.runner.ParallelRunner` (``jobs``); the merge is
+order-preserving and scoring is pure, so serial and parallel searches
+return identical evaluation tables and worst sets.
+
 The returned :class:`AdversarialResult` carries the worst set, its
 slowdown, and the full sorted evaluation table (the ``repro robustness``
 CLI prints it; the ``fig_robustness`` artifact plots the degradation curve
@@ -33,10 +44,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..engine.runner import ParallelRunner
+from ..perf.delta import delta_enabled
 from ..schedule.ir import RoutedSchedule
 from ..simulator.collective import run_routed_collective
 from ..simulator.fabric import FabricModel
-from .runner import run_faulted
+from .context import PreparedFaultContext
+from .runner import capture_fault_prefix, run_faulted
 from .spec import FaultEvent, FaultSpec
 
 __all__ = ["AdversarialResult", "ranked_physical_links", "worst_case_failures"]
@@ -96,14 +110,20 @@ def worst_case_failures(schedule: RoutedSchedule, buffer_bytes: float,
                         candidates: int = 12,
                         mode: str = "auto",
                         seed: int = 0,
-                        max_events: int = 1_000_000) -> AdversarialResult:
+                        max_events: int = 1_000_000,
+                        jobs: int = 1,
+                        context: Optional[PreparedFaultContext] = None,
+                        ) -> AdversarialResult:
     """Search the worst k-physical-link failure set against a schedule.
 
     ``at`` is the failure instant as a fraction of the zero-fault
     completion time (0 < at < 1; the default 0.5 strikes mid-run, when
     rerouting hurts most).  ``mode`` is ``exhaustive``, ``greedy`` or
     ``auto`` (exhaustive while C(candidates, k) stays under ~500 sets,
-    greedy beyond).
+    greedy beyond).  ``jobs`` fans candidate evaluations across threads
+    with an order-preserving merge — results are identical at any job
+    count.  ``context`` shares a prepared fault context built elsewhere
+    (e.g. by a sweep over ``k``); by default one is built here.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -112,6 +132,14 @@ def worst_case_failures(schedule: RoutedSchedule, buffer_bytes: float,
     at = float(at)
     if not 0.0 < at < 1.0:
         raise ValueError(f"at must be a fraction in (0, 1), got {at}")
+
+    if context is None:
+        context = PreparedFaultContext(schedule, fabric)
+    elif context.schedule is not schedule:
+        raise ValueError("context was prepared for a different schedule")
+    elif fabric is not None and fabric != context.fabric:
+        raise ValueError("context was prepared for a different fabric")
+    fabric = context.fabric
 
     baseline = run_routed_collective(schedule, buffer_bytes, fabric=fabric,
                                      validate=False).completion_time
@@ -123,11 +151,21 @@ def worst_case_failures(schedule: RoutedSchedule, buffer_bytes: float,
         raise ValueError(
             f"schedule only loads {len(pool)} physical links; cannot fail {k}")
 
+    # Every candidate evolves identically until the strike instant: simulate
+    # that healthy prefix once and resume each evaluation from the snapshot.
+    prefix = None
+    if delta_enabled() and context.num_flows and at_seconds > 0:
+        prefix = capture_fault_prefix(
+            context, buffer_bytes, at_seconds,
+            vc=_failure_spec((), at_seconds, seed).vc)
+    runner = ParallelRunner(jobs=jobs)
+
     def evaluate(links: Tuple[Link, ...]) -> Dict[str, object]:
         result = run_faulted(
             schedule, buffer_bytes, _failure_spec(links, at_seconds, seed),
             fabric=fabric, validate=False, max_events=max_events,
-            allow_stranded=True, baseline_seconds=baseline)
+            allow_stranded=True, baseline_seconds=baseline,
+            context=context, _prefix=prefix)
         stranded = result.completion_time == float("inf")
         slowdown = (float("inf") if stranded
                     else result.completion_time / baseline)
@@ -149,13 +187,14 @@ def worst_case_failures(schedule: RoutedSchedule, buffer_bytes: float,
 
     evaluations: List[Dict[str, object]] = []
     if mode == "exhaustive":
-        for combo in itertools.combinations(pool, k):
-            evaluations.append(evaluate(combo))
+        evaluations.extend(
+            runner.map(evaluate, list(itertools.combinations(pool, k))))
     else:
         chosen: Tuple[Link, ...] = ()
         for _ in range(k):
-            round_evals = [evaluate(chosen + (link,))
-                           for link in pool if link not in chosen]
+            round_evals = runner.map(
+                evaluate,
+                [chosen + (link,) for link in pool if link not in chosen])
             round_evals.sort(key=sort_key)
             evaluations.extend(round_evals)
             chosen = round_evals[0]["links"]

@@ -1,0 +1,178 @@
+"""Reusable prepared state for faulted runs: hoisted arrays + route caches.
+
+Every call to :func:`~repro.faults.runner.run_faulted` used to rebuild the
+same per-flow arrays (planned routes, completion-latency delays, shard
+sizes) and re-derive every reroute from scratch.  A
+:class:`PreparedFaultContext` binds one ``(schedule, fabric)`` pair and
+hoists all of that so buffer sweeps (:func:`~repro.faults.runner.
+run_faulted_sweep`), fault-grid sweeps and the adversarial search
+(:func:`~repro.faults.adversarial.worst_case_failures`) pay it once:
+
+* ``orig_paths`` / ``delays`` / :meth:`PreparedFaultContext.sizes_for` —
+  the hoisted per-flow arrays (sizes are memoized per buffer point with
+  bit-identical floats: ``fraction * shard`` exactly as the runner
+  computed them inline);
+* :meth:`PreparedFaultContext.delta_program` — a compiled
+  :class:`~repro.perf.delta.DeltaProgram` template, cloned per run so
+  concurrent evaluations mutate independent arenas;
+* :class:`RerouteCache` — BFS repair and LASH/DF-SSSP certification
+  memoized by ``(canonical down-set, planned path)`` and
+  ``(vc, distinct route set)``, shared (and locked) across every run that
+  reuses the context.
+
+All caches are insertion-order faithful: the certification key is the
+ordered first-seen distinct route tuple — the exact sequence
+:func:`~repro.faults.reroute.certify_routes` feeds LASH — because layer
+counts depend on insertion order and must match the uncached oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..perf.delta import DeltaProgram
+from ..simulator.fabric import FabricModel
+from .reroute import certify_routes, effective_path, surviving_adjacency
+
+__all__ = ["PreparedFaultContext", "RerouteCache"]
+
+Link = Tuple[int, int]
+Path = Tuple[int, ...]
+
+
+class RerouteCache:
+    """Memoized route repair + certification for one topology.
+
+    Keys are canonical: the down set arrives as the epoch fabric's sorted
+    ``down_links`` tuple, so repeated epochs, flapping timelines and every
+    candidate of an adversarial search that lands on the same fabric state
+    hit the same entries.  Thread-safe (the adversarial search shares one
+    cache across ``--jobs`` workers); lookups report hit/miss so callers
+    can credit the engine's ``route_cache_*`` counters per run.
+    """
+
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        self._lock = threading.Lock()
+        self._adjacency: Dict[Tuple[Link, ...], Dict[int, List[int]]] = {}
+        self._paths: Dict[Tuple[Tuple[Link, ...], Path], Optional[Path]] = {}
+        self._layers: Dict[Tuple[str, Tuple[Path, ...]], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def adjacency(self, down_key: Tuple[Link, ...],
+                  down: Set[Link]) -> Dict[int, List[int]]:
+        """The surviving adjacency for one down set, built at most once."""
+        with self._lock:
+            adj = self._adjacency.get(down_key)
+        if adj is None:
+            adj = surviving_adjacency(self.topology, down)
+            with self._lock:
+                adj = self._adjacency.setdefault(down_key, adj)
+        return adj
+
+    def effective(self, down_key: Tuple[Link, ...], down: Set[Link],
+                  original: Path) -> Tuple[Optional[Path], bool]:
+        """The route in force for one planned path under one down set.
+
+        Returns ``(path_or_None, cache_hit)``; the path is exactly what
+        :func:`~repro.faults.reroute.effective_path` computes (original if
+        clear, BFS repair, or ``None`` when disconnected).
+        """
+        key = (down_key, original)
+        with self._lock:
+            if key in self._paths:
+                self.hits += 1
+                return self._paths[key], True
+        path = effective_path(original, down, self.adjacency(down_key, down))
+        with self._lock:
+            self.misses += 1
+            path = self._paths.setdefault(key, path)
+        return path, False
+
+    def certify(self, routes: Sequence[Path], vc: str) -> Tuple[int, bool]:
+        """Memoized deadlock-free layer count for one epoch's route set.
+
+        The key preserves the first-seen order of the distinct multi-hop
+        routes (LASH layer counts are insertion-order dependent), so the
+        cached value always equals the direct ``certify_routes`` call.
+        """
+        if vc == "off":
+            return 0, False
+        distinct: List[Path] = []
+        seen: Set[Path] = set()
+        for route in routes:
+            route = tuple(route)
+            if len(route) >= 2 and route not in seen:
+                seen.add(route)
+                distinct.append(route)
+        key = (vc, tuple(distinct))
+        with self._lock:
+            if key in self._layers:
+                self.hits += 1
+                return self._layers[key], True
+        layers = certify_routes(distinct, vc)
+        with self._lock:
+            self.misses += 1
+            layers = self._layers.setdefault(key, layers)
+        return layers, False
+
+
+class PreparedFaultContext:
+    """Hoisted per-flow arrays + shared caches for one (schedule, fabric).
+
+    Build one and pass it to every :func:`~repro.faults.runner.run_faulted`
+    call that shares the schedule and base fabric — the sweep and
+    adversarial drivers do this automatically.  All members are either
+    immutable or internally locked, so one context can back concurrent
+    evaluations.
+    """
+
+    def __init__(self, schedule, fabric: Optional[FabricModel] = None) -> None:
+        self.schedule = schedule
+        self.fabric = fabric or FabricModel()
+        self.topology = schedule.topology
+        self.edges = tuple(self.topology.edges)
+        self.num_nodes = int(self.topology.num_nodes)
+        self.orig_paths: List[Path] = [tuple(a.route)
+                                       for a in schedule.assignments]
+        self.num_flows = len(self.orig_paths)
+        # Per-flow shard fractions: bytes(shard) == fraction * shard with
+        # fraction == bytes(1.0), so sizes_for() reproduces the runner's
+        # inline computation bit-for-bit at any buffer point.
+        self._fractions = [a.chunk.bytes(1.0) for a in schedule.assignments]
+        self.delays = np.array([self.fabric.per_message_overhead
+                                + (len(p) - 1) * self.fabric.per_hop_latency
+                                for p in self.orig_paths])
+        self.reroute_cache = RerouteCache(self.topology)
+        self._lock = threading.Lock()
+        self._sizes: Dict[float, np.ndarray] = {}
+        self._template: Optional[DeltaProgram] = None
+
+    def sizes_for(self, buffer_bytes: float) -> np.ndarray:
+        """Per-flow byte sizes at one buffer point (memoized, read-only)."""
+        key = float(buffer_bytes)
+        with self._lock:
+            sizes = self._sizes.get(key)
+        if sizes is None:
+            shard = key / self.num_nodes
+            sizes = np.array([f * shard for f in self._fractions])
+            with self._lock:
+                sizes = self._sizes.setdefault(key, sizes)
+        return sizes
+
+    def delta_program(self) -> DeltaProgram:
+        """A fresh :class:`DeltaProgram` clone of the compiled template."""
+        with self._lock:
+            template = self._template
+        if template is None:
+            template = DeltaProgram(self.topology, self.fabric,
+                                    self.orig_paths, self._fractions)
+            with self._lock:
+                if self._template is None:
+                    self._template = template
+                template = self._template
+        return template.clone()

@@ -10,14 +10,24 @@ underneath it.  Fault epochs and flow completions share one
    (:meth:`~repro.faults.spec.FaultTimeline.fabric_at`) and recomputes each
    survivor's route — original route if still clear, deterministic BFS
    repair otherwise, *stranded* if disconnected (:mod:`.reroute`);
-3. recompiles the survivors against the new fabric with their **residual**
-   bytes as sizes (the engine's own
-   :func:`~repro.simulator.engine.compile_flows`, then compacted exactly
-   like :meth:`repro.cluster.injector.FlowInjector.retire`) and certifies
-   the active route set deadlock-free through LASH / DF-SSSP;
+3. re-targets the compiled program at the epoch state and certifies the
+   active route set deadlock-free through LASH / DF-SSSP;
 4. re-fills incrementally over the survivors and schedules the next
    completion edge, with mechanics identical to
    :func:`~repro.simulator.engine.execute`.
+
+Step 3 has two engines.  The default **delta** path
+(:mod:`repro.perf.delta`) compiles the full flow set once per context and
+then patches capacities and rerouted incidence slots in place, with repairs
+and certifications memoized in the context's
+:class:`~repro.faults.context.RerouteCache`; epochs that change no route
+skip compilation entirely.  ``REPRO_DELTA=off`` selects the retained
+**oracle** path, which recompiles the survivors from scratch with
+:func:`~repro.simulator.engine.compile_flows` every epoch (the
+differential reference, like ``REPRO_KERNEL=python-csr``).  The two agree
+bit-for-bit on rates — the fill kernels never read flow sizes, so a full
+program under an active mask is the same fill as a compacted survivor
+program — and the fuzz suite pins them at 1e-9 end to end.
 
 Between epochs the run *is* the engine: max-min fair rates, completion-to-
 completion advancement, latency stamped after the transfer.  Completion
@@ -36,12 +46,14 @@ breaks time ties by insertion order — see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..constants import SIM_BYTES_EPS, SIM_EPS
+from ..perf.delta import delta_enabled
 from ..schedule.ir import LinkSchedule, RoutedSchedule
 from ..schedule.validate import validate_routed_schedule
 from ..simulator.collective import CollectiveResult, run_routed_collective
@@ -50,10 +62,12 @@ from ..simulator.engine import (FillWorkspace, FluidFlow, compile_flows,
                                 record_simulation)
 from ..simulator.events import EventQueue
 from ..simulator.fabric import FabricModel
+from .context import PreparedFaultContext
 from .reroute import certify_routes, effective_path, surviving_adjacency
 from .spec import FaultSpec, FaultTimeline, parse_fault_spec
 
-__all__ = ["StrandedScheduleError", "run_faulted", "run_faulted_sweep"]
+__all__ = ["StrandedScheduleError", "FaultPrefix", "capture_fault_prefix",
+           "run_faulted", "run_faulted_sweep"]
 
 Path = Tuple[int, ...]
 
@@ -81,6 +95,90 @@ class _EpochRecord:
     stranded: Tuple[int, ...]
 
 
+@dataclass
+class FaultPrefix:
+    """Fluid state at an instant of the *pre-fault* (healthy) timeline.
+
+    Every candidate of an adversarial search evolves identically until the
+    strike instant — same fabric, same fills, same completions — so the
+    search captures this state once (:func:`capture_fault_prefix`) and each
+    evaluation resumes from it instead of re-simulating the shared prefix.
+    Arrays are read-only snapshots; :func:`run_faulted` copies them.
+    """
+
+    at: float                          # capture instant (= first epoch time)
+    vc: str                            # certification policy captured with
+    vc_layers: int                     # layers certified at the t=0 epoch
+    remaining: np.ndarray              # residual bytes per flow at ``at``
+    completion: np.ndarray             # completion instants committed so far
+    active: np.ndarray                 # live-flow mask at ``at``
+    fill_rounds: int                   # saturation rounds spent in the prefix
+    events: int                        # completion events fired in the prefix
+
+
+def capture_fault_prefix(context: PreparedFaultContext, buffer_bytes: float,
+                         at_seconds: float, vc: str = "lash") -> FaultPrefix:
+    """Simulate the healthy prefix of a faulted run up to ``at_seconds``.
+
+    Mirrors :func:`run_faulted`'s pre-epoch mechanics exactly (same fill
+    kernel, same float expressions, same tie-break: an epoch colliding with
+    a completion instant fires first), so a run resumed from the returned
+    prefix is bit-identical to one simulated from t=0.  Requires the delta
+    engine (the oracle path recomputes everything from scratch by design).
+    """
+    sizes = context.sizes_for(buffer_bytes)
+    delays = context.delays
+    remaining = sizes.astype(float, copy=True)
+    active = remaining > SIM_EPS
+    completion = np.where(active, 0.0, delays)
+    fill_rounds = 0
+    events = 0
+    layers = 0
+    if active.any():
+        live = np.nonzero(active)[0]
+        layers, _ = context.reroute_cache.certify(
+            [context.orig_paths[i] for i in live], vc)
+        delta = context.delta_program()
+        delta.apply(context.fabric, context.orig_paths)
+        program, workspace = delta.program, delta.workspace
+        now = 0.0
+        while active.any():
+            rates, rounds = fill_rates(program, active, workspace)
+            fill_rounds += rounds
+            eligible = active & (rates > SIM_EPS)
+            if not eligible.any():
+                raise RuntimeError(
+                    "faulted simulation stalled: active flows have zero rate")
+            dt = float(np.min(remaining[eligible] / rates[eligible]))
+            t_next = now + dt
+            if t_next >= at_seconds:
+                # The epoch at ``at_seconds`` fires before this completion
+                # (epochs hold the lowest sequence numbers): integrate the
+                # partial interval exactly as the epoch's _integrate would.
+                dt_eff = at_seconds - now
+                if dt_eff > 0:
+                    remaining[active] -= rates[active] * dt_eff
+                    done = active & (remaining <= SIM_BYTES_EPS)
+                    if done.any():
+                        remaining[done] = 0.0
+                        completion[done] = at_seconds + delays[done]
+                        active[done] = False
+                break
+            events += 1
+            dt_eff = t_next - now
+            remaining[active] -= rates[active] * dt_eff
+            done = active & (remaining <= SIM_BYTES_EPS)
+            if done.any():
+                remaining[done] = 0.0
+                completion[done] = t_next + delays[done]
+                active[done] = False
+            now = t_next
+    record_simulation(fill_rounds, events)
+    return FaultPrefix(at=float(at_seconds), vc=vc, vc_layers=layers,
+                       remaining=remaining, completion=completion,
+                       active=active, fill_rounds=fill_rounds, events=events)
+
+
 def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
                 spec: Union[FaultSpec, str],
                 fabric: Optional[FabricModel] = None,
@@ -88,7 +186,9 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
                 max_events: int = 1_000_000,
                 allow_stranded: bool = False,
                 collect_trace: bool = False,
-                baseline_seconds: Optional[float] = None) -> CollectiveResult:
+                baseline_seconds: Optional[float] = None,
+                context: Optional[PreparedFaultContext] = None,
+                _prefix: Optional[FaultPrefix] = None) -> CollectiveResult:
     """Execute a routed schedule under a fault timeline at one buffer size.
 
     ``baseline_seconds`` (the zero-fault completion time on the same base
@@ -97,7 +197,12 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
     records permanently stranded flows as an infinite completion instead of
     raising (the adversarial search treats disconnection as the worst
     outcome); ``collect_trace=True`` stores per-epoch routes and down sets
-    in ``meta["epoch_trace"]`` for the differential tests.
+    in ``meta["epoch_trace"]`` for the differential tests.  ``context`` is
+    a :class:`~repro.faults.context.PreparedFaultContext` for this schedule
+    and fabric — pass one when running the schedule repeatedly so the
+    hoisted arrays, compiled delta template and reroute caches are shared;
+    ``_prefix`` resumes from a :func:`capture_fault_prefix` snapshot whose
+    capture instant equals the first epoch (adversarial search internal).
     """
     if isinstance(spec, str):
         spec = parse_fault_spec(spec)
@@ -108,6 +213,12 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
             "rerouted mid-step — use a cut-through scheme (e.g. mcf-extp)")
     if validate:
         validate_routed_schedule(schedule)
+    if context is not None:
+        if context.schedule is not schedule:
+            raise ValueError("context was prepared for a different schedule")
+        if fabric is not None and fabric != context.fabric:
+            raise ValueError("context was prepared for a different fabric")
+        fabric = context.fabric
 
     if baseline_seconds is None:
         baseline_seconds = run_routed_collective(
@@ -128,18 +239,30 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
         return result
 
     fabric = fabric or FabricModel()
+    if context is None:
+        context = PreparedFaultContext(schedule, fabric)
     timeline = FaultTimeline(spec)
     topology = schedule.topology
-    edges = tuple(topology.edges)
+    edges = context.edges
     n = topology.num_nodes
     shard = buffer_bytes / n
 
-    orig_paths: List[Path] = [tuple(a.route) for a in schedule.assignments]
-    sizes = np.array([a.chunk.bytes(shard) for a in schedule.assignments])
-    delays = np.array([fabric.per_message_overhead
-                       + (len(p) - 1) * fabric.per_hop_latency
-                       for p in orig_paths])
-    num_flows = len(orig_paths)
+    orig_paths = context.orig_paths
+    sizes = context.sizes_for(buffer_bytes)
+    delays = context.delays
+    num_flows = context.num_flows
+    cache = context.reroute_cache
+
+    delta = (context.delta_program()
+             if delta_enabled() and num_flows else None)
+    if _prefix is not None:
+        if delta is None:
+            _prefix = None             # oracle leg: simulate from scratch
+        elif (_prefix.vc != spec.vc or not timeline.epochs
+              or timeline.epochs[0] != _prefix.at):
+            raise ValueError(
+                "fault prefix does not match the spec timeline "
+                "(capture instant must equal the first epoch)")
 
     remaining = sizes.astype(float, copy=True)
     active = remaining > SIM_EPS
@@ -149,34 +272,61 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
 
     queue = EventQueue()
     counters = {"fill_rounds": 0, "reroutes": 0, "stranded_bytes": 0.0,
-                "fault_events": 0, "vc_layers": 0}
+                "fault_events": 0, "vc_layers": 0,
+                "compile_seconds": 0.0, "reroute_seconds": 0.0,
+                "delta_hits": 0, "delta_rebuilds": 0,
+                "route_cache_hits": 0, "route_cache_misses": 0}
     trace: List[_EpochRecord] = []
-    # Live-subprogram state: the compiled survivors, their global flow ids,
-    # the local active mask, the workspace-aliased rates and the pending
-    # completion event.
+    # Live-subprogram state: the compiled program, the global ids of its
+    # rows, the local active mask, the workspace-aliased rates and the
+    # pending completion event.  The delta engine keeps one full-flow-set
+    # program (gids = identity, mask = live flows); the oracle compacts the
+    # survivors per epoch.
     state: Dict[str, object] = {"program": None, "workspace": None,
                                 "gids": np.zeros(0, dtype=np.int64),
                                 "local_active": np.zeros(0, dtype=bool),
                                 "rates": np.zeros(0), "last": 0.0,
                                 "pending": None}
+    all_gids = np.arange(num_flows, dtype=np.int64)
 
     def _compile_epoch(epoch_fabric: FabricModel) -> None:
-        """Compile the live flows (residual sizes) against the epoch fabric."""
-        gids = np.nonzero(active & ~stranded)[0]
-        state["gids"] = gids
-        if len(gids) == 0:
-            state["program"] = None
-            state["workspace"] = None
-            state["local_active"] = np.zeros(0, dtype=bool)
-            state["rates"] = np.zeros(0)
-            return
-        flows = [FluidFlow(path=current_paths[i], size_bytes=remaining[i])
-                 for i in gids]
-        program = compile_flows(topology, flows, epoch_fabric,
-                                include_latency=False)
-        state["program"] = program
-        state["workspace"] = FillWorkspace(program)
-        state["local_active"] = np.ones(len(gids), dtype=bool)
+        """Target the program at the epoch fabric (delta patch or rebuild)."""
+        t0 = time.perf_counter()
+        if delta is not None:
+            live = active & ~stranded
+            state["gids"] = all_gids
+            if not live.any():
+                state["program"] = None
+                state["workspace"] = None
+                state["local_active"] = np.zeros(num_flows, dtype=bool)
+                state["rates"] = np.zeros(0)
+            else:
+                rebuilds = delta.apply(epoch_fabric, current_paths)
+                if rebuilds:
+                    counters["delta_rebuilds"] += rebuilds
+                else:
+                    counters["delta_hits"] += 1
+                state["program"] = delta.program
+                state["workspace"] = delta.workspace
+                state["local_active"] = live
+        else:
+            gids = np.nonzero(active & ~stranded)[0]
+            state["gids"] = gids
+            if len(gids) == 0:
+                state["program"] = None
+                state["workspace"] = None
+                state["local_active"] = np.zeros(0, dtype=bool)
+                state["rates"] = np.zeros(0)
+            else:
+                flows = [FluidFlow(path=current_paths[i],
+                                   size_bytes=remaining[i])
+                         for i in gids]
+                program = compile_flows(topology, flows, epoch_fabric,
+                                        include_latency=False)
+                state["program"] = program
+                state["workspace"] = FillWorkspace(program)
+                state["local_active"] = np.ones(len(gids), dtype=bool)
+        counters["compile_seconds"] += time.perf_counter() - t0
 
     def _refill() -> None:
         """Engine-identical re-fill over the survivors; schedule the edge."""
@@ -222,6 +372,19 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
         _integrate()
         _refill()
 
+    def _apply_route(i: int, new_path: Optional[Path]) -> None:
+        """Credit one flow's epoch route decision into the run state."""
+        if new_path is None:
+            if not stranded[i]:
+                stranded[i] = True
+                counters["stranded_bytes"] += float(remaining[i])
+            current_paths[i] = None
+        else:
+            stranded[i] = False
+            if new_path != current_paths[i]:
+                counters["reroutes"] += 1
+            current_paths[i] = new_path
+
     def _on_epoch(t: float, initial: bool = False) -> None:
         """A fabric epoch: mutate the fabric, reroute, recompile, refill."""
         if not initial:
@@ -232,24 +395,30 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
             pending.cancel()
             state["pending"] = None
         epoch_fabric = timeline.fabric_at(fabric, t, edges)
+        t0 = time.perf_counter()
         down: Set[Tuple[int, int]] = set(epoch_fabric.down_links)
-        adjacency = surviving_adjacency(topology, down)
-        for i in np.nonzero(active)[0]:
-            new_path = effective_path(orig_paths[i], down, adjacency)
-            if new_path is None:
-                if not stranded[i]:
-                    stranded[i] = True
-                    counters["stranded_bytes"] += float(remaining[i])
-                current_paths[i] = None
-            else:
-                stranded[i] = False
-                if new_path != current_paths[i]:
-                    counters["reroutes"] += 1
-                current_paths[i] = new_path
+        if delta is not None:
+            down_key = epoch_fabric.down_links
+            for i in np.nonzero(active)[0]:
+                new_path, hit = cache.effective(down_key, down, orig_paths[i])
+                counters["route_cache_hits" if hit
+                         else "route_cache_misses"] += 1
+                _apply_route(i, new_path)
+        else:
+            adjacency = surviving_adjacency(topology, down)
+            for i in np.nonzero(active)[0]:
+                _apply_route(i, effective_path(orig_paths[i], down, adjacency))
         live_ids = np.nonzero(active & ~stranded)[0]
-        counters["vc_layers"] = max(
-            counters["vc_layers"],
-            certify_routes([current_paths[i] for i in live_ids], spec.vc))
+        routes = [current_paths[i] for i in live_ids]
+        if delta is not None:
+            layers, hit = cache.certify(routes, spec.vc)
+            if spec.vc != "off":
+                counters["route_cache_hits" if hit
+                         else "route_cache_misses"] += 1
+        else:
+            layers = certify_routes(routes, spec.vc)
+        counters["vc_layers"] = max(counters["vc_layers"], layers)
+        counters["reroute_seconds"] += time.perf_counter() - t0
         if collect_trace:
             trace.append(_EpochRecord(
                 time=t, down=tuple(sorted(down)),
@@ -261,17 +430,36 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
     # Fabric epochs are scheduled before any completion event exists, so
     # their sequence numbers are the lowest in the queue: an epoch colliding
     # with a completion instant deterministically fires first.
-    for t in timeline.epochs:
-        queue.schedule_at(t, lambda t=t: _on_epoch(t))
-
-    _on_epoch(0.0, initial=True)   # fold t=0 events into the starting state
+    if _prefix is not None:
+        np.copyto(remaining, _prefix.remaining)
+        np.copyto(active, _prefix.active)
+        np.copyto(completion, _prefix.completion)
+        counters["fill_rounds"] = _prefix.fill_rounds
+        counters["vc_layers"] = _prefix.vc_layers
+        queue.now = _prefix.at
+        state["last"] = _prefix.at
+        for t in timeline.epochs:
+            queue.schedule_at(t, lambda t=t: _on_epoch(t))
+    else:
+        for t in timeline.epochs:
+            queue.schedule_at(t, lambda t=t: _on_epoch(t))
+        _on_epoch(0.0, initial=True)   # fold t=0 events into the start state
     try:
         queue.run(max_events=max_events)
     except RuntimeError as exc:
         raise RuntimeError("faulted simulation did not converge") from exc
 
-    record_simulation(counters["fill_rounds"], queue.processed)
-    record_fault_events(counters["fault_events"], counters["reroutes"])
+    prefix_rounds = _prefix.fill_rounds if _prefix is not None else 0
+    prefix_events = _prefix.events if _prefix is not None else 0
+    record_simulation(counters["fill_rounds"] - prefix_rounds, queue.processed)
+    record_fault_events(
+        counters["fault_events"], counters["reroutes"],
+        compile_seconds=counters["compile_seconds"],
+        reroute_seconds=counters["reroute_seconds"],
+        delta_hits=counters["delta_hits"],
+        delta_rebuilds=counters["delta_rebuilds"],
+        route_cache_hits=counters["route_cache_hits"],
+        route_cache_misses=counters["route_cache_misses"])
 
     if active.any():
         stuck = np.nonzero(active)[0]
@@ -284,7 +472,7 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
     meta: Dict[str, object] = {
         "num_flows": num_flows,
         "fill_rounds": counters["fill_rounds"],
-        "events": queue.processed,
+        "events": queue.processed + prefix_events,
         "fault_events": counters["fault_events"],
         "reroute_count": counters["reroutes"],
         "stranded_bytes": float(counters["stranded_bytes"]),
@@ -293,6 +481,13 @@ def run_faulted(schedule: RoutedSchedule, buffer_bytes: float,
         "robustness_slowdown": (completion_time / baseline_seconds
                                 if baseline_seconds > 0 else float("inf")),
         "fault_spec": spec.canonical(),
+        "delta": "on" if delta is not None else "off",
+        "delta_hits": counters["delta_hits"],
+        "delta_rebuilds": counters["delta_rebuilds"],
+        "route_cache_hits": counters["route_cache_hits"],
+        "route_cache_misses": counters["route_cache_misses"],
+        "compile_seconds": counters["compile_seconds"],
+        "reroute_seconds": counters["reroute_seconds"],
     }
     if collect_trace:
         meta["epoch_trace"] = trace
@@ -314,15 +509,21 @@ def run_faulted_sweep(schedule: Union[RoutedSchedule, LinkSchedule],
                       max_events: int = 1_000_000) -> List[CollectiveResult]:
     """Run the faulted schedule across a buffer sweep (simulate-stage entry).
 
-    The schedule is validated once; the zero-fault baseline is computed per
-    buffer point so every result carries its own ``robustness_slowdown``.
+    The schedule is validated once and one
+    :class:`~repro.faults.context.PreparedFaultContext` backs every buffer
+    point, so the per-flow arrays, compiled delta template and reroute
+    caches are built once for the whole sweep.  The zero-fault baseline is
+    still computed per buffer point so every result carries its own
+    ``robustness_slowdown``.
     """
     if isinstance(spec, str):
         spec = parse_fault_spec(spec)
+    context = (PreparedFaultContext(schedule, fabric)
+               if isinstance(schedule, RoutedSchedule) else None)
     results: List[CollectiveResult] = []
     for i, buf in enumerate(buffer_sizes):
         results.append(run_faulted(
             schedule, buf, spec, fabric=fabric,
             validate=validate_first and i == 0,
-            max_events=max_events))
+            max_events=max_events, context=context))
     return results

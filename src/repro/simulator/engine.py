@@ -88,7 +88,12 @@ class FluidFlow:
 _counters: Dict[str, object] = {"fill_rounds": 0, "events": 0,
                                 "simulations": 0, "fill_seconds": 0.0,
                                 "kernel": "", "fabric_events": 0,
-                                "reroutes": 0}
+                                "reroutes": 0,
+                                "compile_seconds": 0.0,
+                                "reroute_seconds": 0.0,
+                                "delta_hits": 0, "delta_rebuilds": 0,
+                                "route_cache_hits": 0,
+                                "route_cache_misses": 0}
 _counters_lock = threading.Lock()
 
 
@@ -99,7 +104,13 @@ def engine_counters() -> Dict[str, object]:
     (``numba``, ``numpy`` or ``python-csr``); ``fill_seconds`` accumulates
     wall time inside :func:`fill_rates` across the process.
     ``fabric_events``/``reroutes`` count mid-run fabric mutations and flow
-    re-steers credited by the fault runner (:mod:`repro.faults.runner`).
+    re-steers credited by the fault runner (:mod:`repro.faults.runner`);
+    ``compile_seconds``/``reroute_seconds`` split that runner's per-epoch
+    program-targeting and repair/certification wall time out of
+    ``fill_seconds``; ``delta_hits``/``delta_rebuilds`` count fabric epochs
+    the delta engine (:mod:`repro.perf.delta`) absorbed in place versus
+    arena reallocations, and ``route_cache_hits``/``route_cache_misses``
+    track the shared reroute/certification cache.
     """
     with _counters_lock:
         return dict(_counters)
@@ -110,7 +121,9 @@ def reset_engine_counters() -> None:
     with _counters_lock:
         _counters.update(fill_rounds=0, events=0, simulations=0,
                          fill_seconds=0.0, kernel="", fabric_events=0,
-                         reroutes=0)
+                         reroutes=0, compile_seconds=0.0, reroute_seconds=0.0,
+                         delta_hits=0, delta_rebuilds=0, route_cache_hits=0,
+                         route_cache_misses=0)
 
 
 def _count(fill_rounds: int, events: int) -> None:
@@ -130,15 +143,28 @@ def record_simulation(fill_rounds: int, events: int) -> None:
     _count(fill_rounds, events)
 
 
-def record_fault_events(fabric_events: int, reroutes: int) -> None:
+def record_fault_events(fabric_events: int, reroutes: int,
+                        compile_seconds: float = 0.0,
+                        reroute_seconds: float = 0.0,
+                        delta_hits: int = 0, delta_rebuilds: int = 0,
+                        route_cache_hits: int = 0,
+                        route_cache_misses: int = 0) -> None:
     """Credit fabric mutations / flow re-steers to the engine counters.
 
     Called by the fault runner after each faulted execution so the
-    ``[stats]`` footer shows dynamic-failure work next to fill rounds.
+    ``[stats]`` footer shows dynamic-failure work next to fill rounds,
+    including the per-phase timing split (program targeting vs
+    repair/certification) and the delta-engine / reroute-cache tallies.
     """
     with _counters_lock:
         _counters["fabric_events"] += fabric_events
         _counters["reroutes"] += reroutes
+        _counters["compile_seconds"] += compile_seconds
+        _counters["reroute_seconds"] += reroute_seconds
+        _counters["delta_hits"] += delta_hits
+        _counters["delta_rebuilds"] += delta_rebuilds
+        _counters["route_cache_hits"] += route_cache_hits
+        _counters["route_cache_misses"] += route_cache_misses
 
 
 # --------------------------------------------------------------------------- #

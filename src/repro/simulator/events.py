@@ -5,6 +5,13 @@ flow-completion event to flow-completion event; this module provides the
 priority-queue scheduler it (and any future packet-level extensions) builds
 on.  The queue counts the events it has processed (``processed``) so the
 engine can report scheduler work alongside its fill-round counters.
+
+Cancelled events are not removed eagerly (heap deletion is O(n)); they are
+skipped when popped, and the heap is compacted lazily once more than half of
+it is dead (:attr:`EventQueue.compactions` counts the sweeps).  Drivers that
+cancel one pending completion per refill — the engine and the fault runner
+both do — therefore keep the heap within a constant factor of the live event
+count instead of growing it linearly with simulated time.
 """
 
 from __future__ import annotations
@@ -15,6 +22,10 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 __all__ = ["Event", "EventQueue"]
+
+# Compact only past this heap size: tiny heaps never pay the sweep and the
+# growth bound (2x live events) still holds up to a constant.
+_COMPACT_MIN = 64
 
 
 @dataclass(order=True)
@@ -34,6 +45,8 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     executed: bool = field(default=False, compare=False)
+    queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                          repr=False)
 
     def cancel(self) -> bool:
         """Mark the event cancelled so it is skipped when popped.
@@ -45,7 +58,10 @@ class Event:
         """
         if self.executed:
             return False
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._note_cancel()
         return True
 
 
@@ -53,20 +69,28 @@ class EventQueue:
     """Priority queue of events keyed by simulated time.
 
     Equal-time events run in insertion (schedule) order; cancelling an
-    already-executed event is a no-op (see :meth:`Event.cancel`).
+    already-executed event is a no-op (see :meth:`Event.cancel`).  Dead
+    (cancelled) entries are swept lazily once they outnumber the live ones.
     """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._dead = 0
         self.now: float = 0.0
         self.processed: int = 0
+        self.compactions: int = 0
+
+    def __len__(self) -> int:
+        """Current heap size, dead entries included (compaction tests)."""
+        return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from the current time."""
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
-        event = Event(time=self.now + delay, sequence=next(self._counter), callback=callback)
+        event = Event(time=self.now + delay, sequence=next(self._counter),
+                      callback=callback, queue=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -76,13 +100,26 @@ class EventQueue:
 
     def empty(self) -> bool:
         """True when no (non-cancelled) events remain."""
-        return not any(not e.cancelled for e in self._heap)
+        return len(self._heap) == self._dead
+
+    def _note_cancel(self) -> None:
+        self._dead += 1
+        if self._dead * 2 > len(self._heap) and len(self._heap) >= _COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
 
     def step(self) -> bool:
         """Pop and run the next event; returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
             # Mark executed *before* the callback so a handle cancelled from
             # inside the callback (or later) reports the no-op truthfully.
@@ -103,6 +140,7 @@ class EventQueue:
             nxt = self._heap[0]
             if nxt.cancelled:
                 heapq.heappop(self._heap)
+                self._dead -= 1
                 continue
             if until is not None and nxt.time > until:
                 break

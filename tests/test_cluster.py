@@ -204,6 +204,64 @@ class TestRunCluster:
 # --------------------------------------------------------------------------- #
 # Scenario / sweep integration
 # --------------------------------------------------------------------------- #
+class TestInjectorLazyRetire:
+    """The injector deactivates completed rows and compacts only lazily."""
+
+    def _injector(self):
+        from repro.cluster.injector import FlowInjector
+        from repro.simulator import FluidFlow
+        from repro.topology import hypercube
+
+        topo = hypercube(3)
+        injector = FlowInjector(topo, cerio_hpc_fabric())
+        flows = [FluidFlow(path=(s, s ^ 1), size_bytes=float((i + 1) * 4096))
+                 for i, s in enumerate(range(8)) for _ in [0]]
+        injector.inject(flows, name="batch0")
+        injector.inject(
+            [FluidFlow(path=(s, s ^ 2), size_bytes=float((s + 1) * 4096))
+             for s in range(8)], name="batch1")
+        return injector
+
+    def test_retire_is_lazy_then_compacts(self):
+        injector = self._injector()
+        assert injector.num_flows == 16
+        program_before = injector.program()
+        # Finish 6 of 16: dead (6) < live (10) -> rows deactivate, arrays keep
+        # their length and the cached program stays warm.
+        injector._remaining[:6] = 0.0
+        retired = injector.retire()
+        assert len(retired) == 6
+        assert injector.num_flows == 10
+        assert injector.compactions == 0
+        assert injector.program() is program_before
+        assert len(injector.remaining) == 16
+        # Dead rows fill at rate zero and are never retired twice.
+        rates, _ = injector.fill()
+        assert (rates[:6] == 0.0).all() and (rates[6:] > 0).all()
+        assert injector.retire() == []
+        # Finish 6 more: dead (12) > live (4) -> wholesale compaction.
+        injector._remaining[6:12] = 0.0
+        assert len(injector.retire()) == 6
+        assert injector.compactions == 1
+        assert injector.num_flows == 4
+        assert len(injector.remaining) == 4
+        rates, _ = injector.fill()
+        assert (rates > 0).all()
+
+    def test_inject_after_lazy_retire_appends_past_dead_rows(self):
+        from repro.simulator import FluidFlow
+
+        injector = self._injector()
+        injector._remaining[:4] = 0.0
+        injector.retire()
+        assert injector.num_flows == 12
+        injector.inject([FluidFlow(path=(0, 1), size_bytes=4096.0)],
+                        name="late")
+        assert injector.num_flows == 13
+        rates, _ = injector.fill()
+        assert rates[-1] > 0 and (rates[:4] == 0.0).all()
+
+
 class TestClusterScenario:
     TRACE = "cluster:jobs=4:arrival=poisson~2000:placement=packed:seed=0"
 

@@ -14,13 +14,16 @@ import random
 from pathlib import Path
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.constants import SIM_BYTES_EPS, SIM_EPS
 from repro.experiments import Plan, Scenario, run_sweep
 from repro.faults import (
     FaultSpec,
+    PreparedFaultContext,
     StrandedScheduleError,
+    capture_fault_prefix,
     parse_fault_spec,
     ranked_physical_links,
     repair_path,
@@ -28,9 +31,9 @@ from repro.faults import (
     surviving_adjacency,
     worst_case_failures,
 )
-from repro.faults.spec import FaultTimeline
+from repro.faults.spec import FaultEvent, FaultTimeline
 from repro.faults.reroute import effective_path
-from repro.perf import set_fill_kernel
+from repro.perf import set_delta_enabled, set_fill_kernel
 from repro.simulator import (
     FluidFlow,
     cerio_hpc_fabric,
@@ -50,6 +53,25 @@ def kernel_guard():
     """Restore env-driven kernel selection after a forced-kernel test."""
     yield
     set_fill_kernel(None)
+
+
+@pytest.fixture()
+def delta_guard():
+    """Restore env-driven REPRO_DELTA selection after a forced-mode test."""
+    yield
+    set_delta_enabled(None)
+
+
+@pytest.fixture()
+def delta_on():
+    """Force the delta engine on for tests that exercise it specifically.
+
+    CI re-runs this whole file under ``REPRO_DELTA=off``; delta-internals
+    tests must not silently degrade to the oracle path there.
+    """
+    set_delta_enabled(True)
+    yield
+    set_delta_enabled(None)
 
 
 def _lowered(topology: str, scheme: str = "ewsp"):
@@ -233,6 +255,239 @@ class TestDifferentialOracle:
         assert res.completion_time == float("inf")
         assert res.meta["robustness_slowdown"] == float("inf")
         assert res.meta["stranded_bytes"] > 0
+
+
+class TestDeltaEngine:
+    """The incremental delta engine vs the recompile-from-scratch oracle."""
+
+    CASES = [("ring:n=6", "ewsp"), ("hypercube:dim=3", "ewsp"),
+             ("torus:dims=3x3", "ewsp")]
+
+    @pytest.mark.parametrize("topology,scheme", CASES)
+    def test_delta_program_matches_fresh_compile_every_epoch(
+            self, topology, scheme, delta_on):
+        """Fuzz: delta-edited arenas == fresh ``compile_flows``, per epoch.
+
+        Replays the epoch trace of randomized faulted runs through a fresh
+        :class:`DeltaProgram` and asserts that after every ``apply`` the
+        live flows' incidence slots and the real-resource capacities are
+        element-identical to compiling the survivors from scratch against
+        the epoch fabric.
+        """
+        from repro.simulator.engine import compile_flows
+
+        schedule = _lowered(topology, scheme)
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        baseline = run_routed_collective(schedule, buf, fabric=fabric,
+                                         validate=False).completion_time
+        topo = from_spec(topology)
+        edges = tuple(topo.edges)
+        for seed in range(4):
+            rng = random.Random(f"delta/{topology}/{scheme}/{seed}")
+            spec = _random_fault_spec(topo, rng, baseline)
+            if parse_fault_spec(spec).trivial:
+                continue      # nothing to replay (e.g. unbreakable ring)
+            res = run_faulted(schedule, buf, spec, fabric=fabric,
+                              validate=False, baseline_seconds=baseline,
+                              collect_trace=True)
+            assert res.meta["delta"] == "on"
+            context = PreparedFaultContext(schedule, fabric)
+            delta = context.delta_program()
+            timeline = FaultTimeline(parse_fault_spec(spec))
+            for rec in res.meta["epoch_trace"]:
+                epoch_fabric = timeline.fabric_at(fabric, rec.time, edges)
+                paths = [rec.paths.get(i) for i in range(context.num_flows)]
+                delta.apply(epoch_fabric, paths)
+                live = sorted(rec.paths)
+                fresh = compile_flows(
+                    topo,
+                    [FluidFlow(path=rec.paths[i], size_bytes=1.0)
+                     for i in live],
+                    epoch_fabric, include_latency=False)
+                fptr = np.concatenate(
+                    [[0], np.cumsum(np.bincount(fresh.inc_flow,
+                                                minlength=len(live)))])
+                for j, i in enumerate(live):
+                    want = fresh.inc_res[fptr[j]:fptr[j + 1]]
+                    s = int(delta._starts[i])
+                    got = delta.ent_res[s:s + int(delta._lens[i])]
+                    np.testing.assert_array_equal(got, want, err_msg=(
+                        f"{spec}: flow {i} slots diverge at t={rec.time}"))
+                    pad = delta.ent_res[s + int(delta._lens[i]):
+                                        s + int(delta._caps[i])]
+                    assert (pad == delta.slack).all()
+                np.testing.assert_array_equal(
+                    delta.res_cap[:delta.num_real_res], fresh.res_cap,
+                    err_msg=f"{spec}: capacities diverge at t={rec.time}")
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_oracle_mode_matches_delta_within_1e9(self, kernel, kernel_guard,
+                                                  delta_guard):
+        """``REPRO_DELTA=off`` agrees with delta runs under every kernel."""
+        set_fill_kernel(kernel)
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        baseline = run_routed_collective(schedule, buf, fabric=fabric,
+                                         validate=False).completion_time
+        topo = from_spec("hypercube:dim=3")
+        for seed in range(3):
+            rng = random.Random(f"mode/{kernel}/{seed}")
+            spec = _random_fault_spec(topo, rng, baseline)
+            set_delta_enabled(True)
+            on = run_faulted(schedule, buf, spec, fabric=fabric,
+                             validate=False, baseline_seconds=baseline)
+            set_delta_enabled(False)
+            off = run_faulted(schedule, buf, spec, fabric=fabric,
+                              validate=False, baseline_seconds=baseline)
+            assert on.meta["delta"] == "on" and off.meta["delta"] == "off"
+            assert abs(on.completion_time
+                       - off.completion_time) <= 1e-9, spec
+            for key in ("reroute_count", "fault_events", "fill_rounds",
+                        "vc_layers", "stranded_bytes", "events"):
+                assert on.meta[key] == off.meta[key], (spec, key)
+
+    def test_prefix_resume_is_identical_to_full_run(self, delta_on):
+        """Resuming from a captured healthy prefix changes nothing."""
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        context = PreparedFaultContext(schedule, fabric)
+        baseline = run_routed_collective(schedule, buf, fabric=fabric,
+                                         validate=False).completion_time
+        at = 0.5 * baseline
+        spec = FaultSpec(events=(FaultEvent(time=at, kind="down",
+                                            links=((0, 1), (1, 0))),))
+        full = run_faulted(schedule, buf, spec, fabric=fabric,
+                           validate=False, context=context,
+                           baseline_seconds=baseline)
+        prefix = capture_fault_prefix(context, buf, at, vc=spec.vc)
+        resumed = run_faulted(schedule, buf, spec, fabric=fabric,
+                              validate=False, context=context,
+                              baseline_seconds=baseline, _prefix=prefix)
+        assert resumed.completion_time == full.completion_time
+        assert resumed.meta["fill_rounds"] == full.meta["fill_rounds"]
+        assert resumed.meta["events"] == full.meta["events"]
+        assert resumed.meta["reroute_count"] == full.meta["reroute_count"]
+
+    def test_prefix_not_matching_first_epoch_raises(self, delta_on):
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        context = PreparedFaultContext(schedule, fabric)
+        prefix = capture_fault_prefix(context, buf, 1e-6, vc="lash")
+        spec = FaultSpec(events=(FaultEvent(time=2e-6, kind="down",
+                                            links=((0, 1), (1, 0))),))
+        with pytest.raises(ValueError, match="prefix"):
+            run_faulted(schedule, buf, spec, fabric=fabric, validate=False,
+                        context=context, _prefix=prefix)
+
+    def test_context_schedule_and_fabric_guards(self):
+        schedule = _lowered("hypercube:dim=3")
+        other = _lowered("ring:n=6")
+        fabric = cerio_hpc_fabric()
+        context = PreparedFaultContext(schedule, fabric)
+        with pytest.raises(ValueError, match="different schedule"):
+            run_faulted(other, 2 ** 20, "faults:down=0~1@5us",
+                        fabric=fabric, validate=False, context=context)
+        with pytest.raises(ValueError, match="different fabric"):
+            run_faulted(schedule, 2 ** 20, "faults:down=0~1@5us",
+                        fabric=fabric_from_spec("hpc:scale=0~1:0.5"),
+                        validate=False, context=context)
+
+    def test_shared_context_hits_the_reroute_cache(self, delta_on):
+        """A second identical run serves repairs/certs from the cache."""
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        spec = "faults:down=0~1@10us:up@40us:down=0~1@80us"
+        context = PreparedFaultContext(schedule, fabric)
+        first = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                            validate=False, context=context)
+        second = run_faulted(schedule, 2 ** 20, spec, fabric=fabric,
+                             validate=False, context=context)
+        assert second.completion_time == first.completion_time
+        assert first.meta["route_cache_misses"] > 0
+        assert second.meta["route_cache_misses"] == 0
+        assert second.meta["route_cache_hits"] > 0
+        assert context.reroute_cache.hits >= second.meta["route_cache_hits"]
+
+    def test_flapping_timeline_reuses_delta_state(self, delta_on):
+        """Revisited fabric states patch in place: hits, no rebuilds."""
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        parts = []
+        for i in range(6):
+            parts.append(f"down=0~1@{10 + 12 * i}us")
+            parts.append(f"up@{16 + 12 * i}us")
+        res = run_faulted(schedule, 2 ** 20, "faults:" + ":".join(parts),
+                          fabric=fabric, validate=False)
+        assert res.meta["delta"] == "on"
+        assert res.meta["delta_hits"] + res.meta["delta_rebuilds"] > 0
+        # After the first down/up pair every state has been seen: the
+        # remaining epochs must all be in-place hits.
+        assert res.meta["delta_hits"] >= 8
+
+    def test_engine_counters_and_footer_carry_delta_stats(self, delta_on):
+        from repro.analysis.report import format_engine_footer
+        from repro.simulator.engine import (engine_counters,
+                                            reset_engine_counters)
+
+        reset_engine_counters()
+        try:
+            schedule = _lowered("hypercube:dim=3")
+            run_faulted(schedule, 2 ** 20, "faults:down=0~1@10us:up@40us",
+                        fabric=cerio_hpc_fabric(), validate=False)
+            stats = engine_counters()
+            assert stats["fabric_events"] > 0
+            assert stats["delta_hits"] + stats["delta_rebuilds"] > 0
+            assert stats["route_cache_hits"] + stats["route_cache_misses"] > 0
+            assert stats["compile_seconds"] >= 0.0
+            assert stats["reroute_seconds"] > 0.0
+            footer = format_engine_footer(
+                {"hits": 0, "misses": 0, "disk_hits": 0, "backend": "x"},
+                {"hits": 0, "misses": 0}, sim_stats=stats)
+            assert "fabric events" in footer
+            assert "delta:" in footer and "route-cache:" in footer
+            assert "compile" in footer and "reroute]" in footer
+        finally:
+            reset_engine_counters()
+
+    def test_repro_delta_env_values(self, monkeypatch, delta_guard):
+        from repro.perf import delta_enabled
+
+        set_delta_enabled(None)
+        monkeypatch.setenv("REPRO_DELTA", "off")
+        assert delta_enabled() is False
+        monkeypatch.setenv("REPRO_DELTA", "on")
+        assert delta_enabled() is True
+        monkeypatch.setenv("REPRO_DELTA", "sideways")
+        with pytest.raises(ValueError, match="REPRO_DELTA"):
+            delta_enabled()
+        set_delta_enabled(False)   # override beats the (invalid) env
+        assert delta_enabled() is False
+
+    def test_adversarial_serial_parallel_and_oracle_agree(self, delta_guard):
+        """Serial, ``jobs=3`` and oracle searches return identical tables."""
+        schedule = _lowered("hypercube:dim=3")
+        fabric = cerio_hpc_fabric()
+        buf = 2 ** 20
+        context = PreparedFaultContext(schedule, fabric)
+        set_delta_enabled(True)
+        serial = worst_case_failures(schedule, buf, k=2, fabric=fabric,
+                                     candidates=5, context=context)
+        parallel = worst_case_failures(schedule, buf, k=2, fabric=fabric,
+                                       candidates=5, jobs=3, context=context)
+        set_delta_enabled(False)
+        oracle = worst_case_failures(schedule, buf, k=2, fabric=fabric,
+                                     candidates=5, context=context)
+        table = lambda a: [(ev["links"], ev["slowdown"], ev["reroute_count"])
+                           for ev in a.evaluations]       # noqa: E731
+        assert serial.worst_links == parallel.worst_links == oracle.worst_links
+        assert table(serial) == table(parallel)
+        for (l1, s1, r1), (l2, s2, r2) in zip(table(serial), table(oracle)):
+            assert l1 == l2 and r1 == r2
+            assert abs(s1 - s2) <= 1e-9
 
 
 class TestZeroFaultIdentity:
@@ -512,15 +767,30 @@ class TestScenarioWiring:
 
 
 class TestGoldenRobustness:
-    def test_fig_robustness_matches_golden_file(self):
-        from repro.experiments import result_from_plan
+    @pytest.mark.parametrize("delta", [True, False],
+                             ids=["delta", "oracle"])
+    def test_fig_robustness_matches_golden_file(self, delta, delta_guard):
+        """Both engines reproduce the golden artifact byte-for-byte.
+
+        The oracle leg disables the plan's stage cache so its simulate
+        stages genuinely re-run under ``REPRO_DELTA=off`` instead of being
+        served from the delta leg's cached artifacts.
+        """
+        from repro.experiments import get_plan_cache, result_from_plan
         from repro.report.specs import FIG_ROBUSTNESS
 
-        spec = FIG_ROBUSTNESS
-        results = [result_from_plan(s, Plan(s).run(through=spec.through),
-                                    through=spec.through)
-                   for s in spec.scenarios(fast=True)]
-        out = spec.aggregate(results, fast=True)
+        set_delta_enabled(delta)
+        cache = get_plan_cache()
+        prev = cache.enabled
+        cache.enabled = cache.enabled and delta
+        try:
+            spec = FIG_ROBUSTNESS
+            results = [result_from_plan(s, Plan(s).run(through=spec.through),
+                                        through=spec.through)
+                       for s in spec.scenarios(fast=True)]
+            out = spec.aggregate(results, fast=True)
+        finally:
+            cache.enabled = prev
         assert not out.errors
         expected = (GOLDEN / "fig_robustness.txt").read_text()
         assert out.tables[0].text + "\n" == expected

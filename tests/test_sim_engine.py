@@ -303,6 +303,46 @@ class TestEventQueue:
         queue.run()
         assert results == [False]
 
+    def test_heap_stays_bounded_under_cancel_schedule_cycles(self):
+        """Lazy compaction: dead entries never dominate a large heap.
+
+        The fault runner's pattern — cancel the pending completion, schedule
+        a replacement, thousands of times — used to grow the heap linearly
+        with simulated time; the lazy sweep must keep it within a constant
+        factor of the live event count.
+        """
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        live = [queue.schedule(float(i) + 1e6, lambda: None)
+                for i in range(100)]
+        pending = queue.schedule(1.0, lambda: None)
+        for i in range(10_000):
+            pending.cancel()
+            pending = queue.schedule(float(i % 7) + 1.0, lambda: None)
+        # 10k cancels against ~101 live events: without compaction the heap
+        # holds ~10k dead entries; with it, dead can never exceed live + 1.
+        assert len(queue) <= 2 * (len(live) + 1) + 1
+        assert queue.compactions > 0
+        assert not queue.empty()
+
+    def test_compaction_preserves_order_and_pending_events(self):
+        from repro.simulator.events import EventQueue
+
+        queue = EventQueue()
+        fired = []
+        keep = [queue.schedule(float(t), lambda t=t: fired.append(t))
+                for t in (5, 3, 9)]
+        victim = queue.schedule(1.0, lambda: fired.append("victim"))
+        for i in range(200):        # force several compaction sweeps
+            victim.cancel()
+            victim = queue.schedule(0.5, lambda: fired.append("victim"))
+        victim.cancel()
+        queue.run()
+        assert fired == [3.0, 5.0, 9.0]
+        assert queue.compactions > 0
+        assert all(e.executed for e in keep)
+
 
 class TestStepSimEdgeCases:
     def test_single_flow_schedule(self):
